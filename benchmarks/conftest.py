@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and records
+its rows under ``benchmarks/results/`` (also echoed to stdout, visible
+with ``pytest -s``), so EXPERIMENTS.md can be refreshed from the files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.campaign import CampaignConfig, run_campaign
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a named result artifact and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def campaign_result():
+    """One full six-CPU campaign, shared by the Table 1 and Table 2 benches."""
+    return run_campaign(config=CampaignConfig(tests_per_bug=10))

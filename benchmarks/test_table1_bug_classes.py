@@ -1,0 +1,60 @@
+"""Table 1: bugs found by TSOtool per CPU, classified by bug class.
+
+The paper reports 106 bugs across six SPARC processors: 7 architecture,
+69 design, 25 monitor and 5 environment bugs.  The reproduction seeds
+each synthetic CPU with the same roster (see ``repro.sim.cpus``) and
+runs the randomized hunting campaign; the bench regenerates the table
+from *detections*, so every row also demonstrates that the checker
+actually finds each seeded bug mechanism.
+"""
+
+from repro.analysis.campaign import format_table1
+from repro.analysis.stats import render_campaign_stats
+from repro.sim.faults import BugClass
+
+#: Table 1 of the paper: (architecture, design, monitor, environment).
+PAPER_TABLE1 = {
+    "CPU1": (0, 3, 0, 0),
+    "CPU2": (0, 4, 3, 0),
+    "CPU3": (0, 11, 8, 5),
+    "CPU4": (0, 17, 8, 0),
+    "CPU5": (2, 20, 5, 0),
+    "CPU6": (5, 14, 1, 0),
+}
+
+CLASS_ORDER = (
+    BugClass.ARCHITECTURE, BugClass.DESIGN, BugClass.MONITOR, BugClass.ENVIRONMENT,
+)
+
+
+def test_table1_regenerated(benchmark, campaign_result, record):
+    """The campaign's Table 1 must match the paper row for row."""
+    record(
+        "table1_bug_classes",
+        format_table1(campaign_result)
+        + "\n\n"
+        + render_campaign_stats(campaign_result),
+    )
+
+    rows = dict(campaign_result.table1_rows())
+    for cpu, expected in PAPER_TABLE1.items():
+        got = tuple(rows[cpu][cls] for cls in CLASS_ORDER)
+        assert got == expected, f"{cpu}: detected {got}, paper says {expected}"
+
+    totals = [0, 0, 0, 0]
+    for counts in rows.values():
+        for i, cls in enumerate(CLASS_ORDER):
+            totals[i] += counts[cls]
+    assert totals == [7, 69, 25, 5]
+    assert sum(totals) == 106
+
+    # Time one representative hunt so the bench reports a meaningful
+    # per-bug cost (the full campaign already ran in the shared fixture).
+    from repro.analysis.campaign import CampaignConfig, hunt_bug
+    from repro.sim.cpus import cpu_by_name
+
+    spec = cpu_by_name("CPU1").bugs[0]
+    benchmark.pedantic(
+        lambda: hunt_bug(spec, "CPU1", CampaignConfig(tests_per_bug=10)),
+        rounds=3, iterations=1,
+    )

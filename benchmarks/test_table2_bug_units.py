@@ -1,0 +1,51 @@
+"""Table 2: bugs found by TSOtool per CPU, classified by functional unit.
+
+The paper's unit totals — Pipe 4, Caches 49, TLB 6, LSU 14, Mem Cntlr 9,
+Interconnect 12 — reflect where memory-system bugs live: overwhelmingly
+in the caches, exactly what the derivative-CPU rosters mirror.  The
+bench regenerates the table from campaign detections.
+"""
+
+from repro.analysis.campaign import format_table2
+from repro.sim.faults import FuncUnit
+
+#: Table 2 of the paper: (Pipe, Caches, TLB, LSU, Mem Cntlr, Interconnect).
+PAPER_TABLE2 = {
+    "CPU1": (0, 3, 0, 0, 0, 0),
+    "CPU2": (1, 5, 0, 0, 1, 0),
+    "CPU3": (0, 17, 0, 0, 0, 2),
+    "CPU4": (0, 8, 0, 0, 8, 9),
+    "CPU5": (3, 11, 6, 4, 0, 1),
+    "CPU6": (0, 5, 0, 10, 0, 0),
+}
+
+UNIT_ORDER = (
+    FuncUnit.PIPE, FuncUnit.CACHES, FuncUnit.TLB, FuncUnit.LSU,
+    FuncUnit.MEM_CNTLR, FuncUnit.INTERCONNECT,
+)
+
+
+def test_table2_regenerated(benchmark, campaign_result, record):
+    """The campaign's Table 2 must match the paper row for row."""
+    record("table2_bug_units", format_table2(campaign_result))
+
+    rows = dict(campaign_result.table2_rows())
+    for cpu, expected in PAPER_TABLE2.items():
+        got = tuple(rows[cpu][unit] for unit in UNIT_ORDER)
+        assert got == expected, f"{cpu}: detected {got}, paper says {expected}"
+
+    totals = [0] * 6
+    for counts in rows.values():
+        for i, unit in enumerate(UNIT_ORDER):
+            totals[i] += counts[unit]
+    assert totals == [4, 49, 6, 14, 9, 12]
+
+    # Per-unit hunting cost for one cache bug (the dominant class).
+    from repro.analysis.campaign import CampaignConfig, hunt_bug
+    from repro.sim.cpus import cpu_by_name
+
+    spec = cpu_by_name("CPU3").bugs[0]
+    benchmark.pedantic(
+        lambda: hunt_bug(spec, "CPU3", CampaignConfig(tests_per_bug=10)),
+        rounds=3, iterations=1,
+    )

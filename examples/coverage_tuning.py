@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Close the Sec. 3.1 coverage loop: tune the generator, catch more bugs.
+
+"Users can improve the quality of testcases generated using tools which
+report test coverage."  This example does what such a user would do, but
+automatically:
+
+1. start from a test mix that is poor at atomic contention;
+2. measure how often it catches a low-rate atomicity-window bug;
+3. let the coverage-guided tuner reshape the mix toward the
+   atomic-contention objective;
+4. measure again — the detection rate should follow the coverage.
+
+Run:  python examples/coverage_tuning.py
+"""
+
+from repro import GeneratorConfig, TsoMachine, check, generate_program
+from repro.analysis.tuning import atomic_contention_objective, tune
+from repro.generator.config import InstructionMix
+from repro.sim.faults import AtomicityHoleFault
+
+RUNS = 40
+FAULT_RATE = 0.1
+
+
+def detection_rate(config: GeneratorConfig) -> int:
+    hits = 0
+    for seed in range(RUNS):
+        program = generate_program(config, seed=seed)
+        machine = TsoMachine(
+            program, seed=seed, faults=[AtomicityHoleFault(rate=FAULT_RATE)]
+        )
+        if not check(program, machine.run()).ok:
+            hits += 1
+    return hits
+
+
+def main() -> None:
+    # A deliberately atomics-poor starting mix.
+    base = GeneratorConfig(
+        nprocs=4, ops_per_proc=80, shared_words=8,
+        mix=InstructionMix(load=40, store=40, swap=0.2, cas=0.2, membar=4),
+    )
+    before = detection_rate(base)
+    print(f"baseline mix: {before}/{RUNS} runs catch the atomicity bug")
+
+    print("tuning the generator toward atomic contention "
+          "(coverage objective, no knowledge of the bug)...")
+    result = tune(
+        base=base, objective=atomic_contention_objective,
+        rounds=100, seeds_per_eval=3, seed=11,
+    )
+    print(f"coverage score: {result.baseline_score:.1f} -> "
+          f"{result.best_score:.1f} ({result.improvement:.1f}x) over "
+          f"{result.evaluations} evaluations")
+    mix = result.best_config.mix
+    print(f"tuned weights: swap={mix.swap:g} cas={mix.cas:g} "
+          f"load={mix.load:g} store={mix.store:g} "
+          f"(shared_words={result.best_config.shared_words})")
+
+    after = detection_rate(result.best_config)
+    print(f"tuned mix:    {after}/{RUNS} runs catch the atomicity bug")
+    if after > before:
+        print("\ncoverage-guided tuning turned a blind test mix into an "
+              "effective one — the Sec. 3.1 feedback loop, automated.")
+    else:
+        print("\nno improvement this time; try more tuning rounds.")
+
+
+if __name__ == "__main__":
+    main()

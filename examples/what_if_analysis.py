@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""The Sec. 3.4 what-if workflow on the standalone analysis interface.
+
+When TSOtool flags a run, "users can edit this file and feed it back to
+TSOtool via the analysis interface if they wish to make an educated
+guess about which load result is incorrect and what the correct load
+result should have been.  This 'what-if' analysis is often useful to
+evaluate the correctness of other possible results."
+
+This example stages that workflow against an *environment* bug (the
+class behind Table 1's last column): the machine behaves perfectly, but
+the observation path corrupts one recorded load value.
+
+1. run tests on a machine with a trace-corruption fault until the
+   observed trace fails analysis;
+2. dump the failing trace in the editable text format;
+3. play the analyst: the flagged load read a value nothing ever wrote,
+   so try each value that *was* written to that address — one re-analysis
+   per guess, exactly the paper's what-if loop;
+4. report the guess that makes the outcome consistent, and confirm it
+   against the machine's true trace.
+
+Run:  python examples/what_if_analysis.py
+"""
+
+from repro import GeneratorConfig, TsoMachine, check, check_execution, generate_program
+from repro.model.trace import Execution
+from repro.sim.faults import TraceCorruptionFault
+
+
+def _divergent_words(observed: Execution, true_execution: Execution) -> int:
+    count = 0
+    for obs_proc, true_proc in zip(observed.records, true_execution.records):
+        for obs, true in zip(obs_proc, true_proc):
+            if obs.loaded != true.loaded:
+                count += sum(a != b for a, b in zip(obs.loaded, true.loaded))
+    return count
+
+
+def find_failing_run():
+    """A run where exactly one observed word was corrupted (the single-
+    culprit situation the what-if workflow is built for)."""
+    config = GeneratorConfig(nprocs=4, ops_per_proc=50, shared_words=6)
+    for seed in range(300):
+        program = generate_program(config, seed=seed)
+        machine = TsoMachine(
+            program, seed=seed, faults=[TraceCorruptionFault(rate=0.005)]
+        )
+        observed = machine.run()
+        result = check(program, observed)
+        if not result.ok and _divergent_words(observed, machine.true_execution) == 1:
+            return program, machine, observed, result
+    raise SystemExit("no failing run found (unexpected)")
+
+
+def locate_suspect(observed: Execution, true_execution: Execution):
+    """Find the (pid, record, word) whose observation diverged."""
+    for pid, (obs_proc, true_proc) in enumerate(
+        zip(observed.records, true_execution.records)
+    ):
+        for idx, (obs, true) in enumerate(zip(obs_proc, true_proc)):
+            if obs.loaded != true.loaded:
+                for word, (a, b) in enumerate(zip(obs.loaded, true.loaded)):
+                    if a != b:
+                        return pid, idx, word
+    raise SystemExit("no divergence found")
+
+
+def main() -> None:
+    program, machine, observed, result = find_failing_run()
+    print("the observed trace fails analysis:")
+    print(result.explain())
+
+    print("\neditable trace format (excerpt):")
+    print("\n".join(observed.dump().splitlines()[:5]))
+    print("  ...")
+
+    # The analyst does not have the true trace; we use it only at the
+    # end to confirm the guess.  The suspect is located from the failure
+    # itself here (the corrupted value is unmapped, so the violation
+    # message names it).
+    pid, idx, word = locate_suspect(observed, machine.true_execution)
+    rec = observed.records[pid][idx]
+    addr = rec.instr.addr + 4 * word
+    bogus = rec.loaded[word]
+    print(f"\nsuspect: P{pid} record {idx} word {word} "
+          f"(address {addr:#x}) read {bogus}")
+
+    # Candidate corrections: every value the trace shows being written
+    # to that address, plus the initial value.
+    candidates = [program.initial_value(addr)]
+    for proc in observed.records:
+        for r in proc:
+            if r.stored is None:
+                continue
+            for w, value in enumerate(r.stored):
+                if r.instr.addr + 4 * w == addr:
+                    candidates.append(value)
+
+    print(f"what-if loop over {len(candidates)} candidate values:")
+    for candidate in candidates:
+        records = [list(p) for p in observed.records]
+        fixed = list(rec.loaded)
+        fixed[word] = candidate
+        records[pid][idx] = rec.with_loaded(fixed)
+        verdict = check_execution(
+            Execution(records=records),
+            initial=program.initial,
+            word_names=program.word_names,
+        )
+        mark = "CONSISTENT" if verdict.ok else "still fails"
+        print(f"  {bogus} -> {candidate:<12d} {mark}")
+        if verdict.ok:
+            true_value = machine.true_execution.records[pid][idx].loaded[word]
+            print(f"\nconfirmed: the machine really returned {true_value}; "
+                  f"the guess {'matches' if candidate == true_value else 'differs'}.")
+            print("verdict: environment bug — the hardware was innocent, the "
+                  "observation path corrupted the result.")
+            return
+    print("no single-value edit explains the failure (deeper corruption).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Experiment harnesses and post-run analysis tooling.
+
+* :mod:`~repro.analysis.campaign` — the Table 1/2 bug-hunting campaign.
+* :mod:`~repro.analysis.runtime` — the Figure 8/9 runtime measurements.
+* :mod:`~repro.analysis.coverage` — Sec. 3.1 test-coverage reporting.
+* :mod:`~repro.analysis.tuning` — coverage-guided generator tuning.
+* :mod:`~repro.analysis.repro_study` — the Sec. 5.2 failure-reproduction
+  experiment.
+* :mod:`~repro.analysis.minimize` — failing-trace delta debugging.
+* :mod:`~repro.analysis.bringup` — silicon bring-up simulation (all bugs
+  live at once, root-caused one by one).
+"""
+
+from repro.analysis.bringup import BringupEvent, BringupLog, bringup
+from repro.analysis.campaign import (
+    BugHunt,
+    CampaignConfig,
+    CampaignResult,
+    format_table1,
+    format_table2,
+    hunt_bug,
+    run_campaign,
+)
+from repro.analysis.coverage import CoverageReport, measure_coverage
+from repro.analysis.minimize import (
+    MinimizationResult,
+    minimize_failure,
+    render_minimized,
+)
+from repro.analysis.repro_study import (
+    ReproductionPoint,
+    reproduction_study,
+    sweep_reproduction,
+)
+from repro.analysis.report import ReportConfig, build_report
+from repro.analysis.runtime import RuntimePoint, measure_runtime, sweep_runtime
+from repro.analysis.stats import (
+    LatencySummary,
+    bootstrap_detection_rate,
+    detection_latency,
+    latency_by_mechanism,
+    latency_by_unit,
+    render_campaign_stats,
+)
+from repro.analysis.tuning import (
+    TuningResult,
+    atomic_contention_objective,
+    race_pair_objective,
+    tune,
+)
+
+__all__ = [
+    "BringupEvent",
+    "BringupLog",
+    "bringup",
+    "BugHunt",
+    "CampaignConfig",
+    "CampaignResult",
+    "format_table1",
+    "format_table2",
+    "hunt_bug",
+    "run_campaign",
+    "CoverageReport",
+    "measure_coverage",
+    "MinimizationResult",
+    "minimize_failure",
+    "render_minimized",
+    "ReproductionPoint",
+    "reproduction_study",
+    "sweep_reproduction",
+    "ReportConfig",
+    "build_report",
+    "RuntimePoint",
+    "measure_runtime",
+    "sweep_runtime",
+    "LatencySummary",
+    "bootstrap_detection_rate",
+    "detection_latency",
+    "latency_by_mechanism",
+    "latency_by_unit",
+    "render_campaign_stats",
+    "TuningResult",
+    "atomic_contention_objective",
+    "race_pair_objective",
+    "tune",
+]

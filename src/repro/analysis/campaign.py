@@ -1,0 +1,261 @@
+"""Randomized bug-hunting campaigns — the harness behind Tables 1 and 2.
+
+For every seeded bug of a :class:`~repro.sim.cpus.CpuConfig`, the
+campaign runs freshly generated racy tests on a machine with exactly that
+fault active until the bug is *found* or the test budget runs out.
+"Found" depends on the bug class, mirroring how the paper's users triaged
+failures:
+
+* **architecture / design** — the TSOtool analysis of the observed run
+  fails: the machine genuinely violated the memory model.
+* **monitor** — a runtime-checker alarm fired on a run whose TSOtool
+  analysis passes: the design was fine, the checker is buggy.
+* **environment** — the observed trace fails analysis but the machine's
+  true trace passes: the observation path corrupted the results.
+
+The campaign then reports detected-bug counts grouped by class (Table 1)
+and by functional unit (Table 2).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.api import check
+from repro.core.policy import TSO, MemoryModel
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.sim.cpus import CPU_CONFIGS, BugSpec, CpuConfig
+from repro.sim.faults import BugClass, FuncUnit
+from repro.sim.machine import MachineConfig, TsoMachine
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign-wide knobs.
+
+    Attributes:
+        tests_per_bug: test budget per seeded bug.
+        generator: base test-generator configuration; the campaign's
+            tests are intentionally short with intense sharing ("a
+            relatively short test with intense sharing", Sec. 3.1).
+        machine: machine tunables for every run.
+        model: memory model checked against.
+        seed: campaign master seed (everything derives from it).
+    """
+
+    tests_per_bug: int = 10
+    generator: GeneratorConfig = field(
+        default_factory=lambda: GeneratorConfig(
+            nprocs=4,
+            ops_per_proc=80,
+            shared_words=6,
+            mix=InstructionMix(
+                load=30.0, store=30.0, swap=6.0, cas=6.0, membar=8.0,
+                block_load=1.0, block_store=1.0, nonfaulting_load=1.0,
+                prefetch=1.0, flush=1.0, branch=1.0, interrupt=0.5,
+            ),
+        )
+    )
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    model: MemoryModel = TSO
+    seed: int = 2004
+
+
+@dataclass
+class BugHunt:
+    """The outcome of hunting one seeded bug."""
+
+    spec: BugSpec
+    cpu: str
+    detected: bool
+    tests_run: int
+    detected_on_seed: Optional[int] = None
+    via: str = ""
+
+    @property
+    def unit(self) -> FuncUnit:
+        """Functional unit of the hunted bug."""
+        return self.spec.unit
+
+    @property
+    def bug_class(self) -> BugClass:
+        """Bug class of the hunted bug."""
+        return self.spec.bug_class
+
+
+@dataclass
+class CampaignResult:
+    """All hunts of a campaign plus derived table rows."""
+
+    hunts: List[BugHunt]
+    seconds: float = 0.0
+
+    def by_cpu(self) -> Dict[str, List[BugHunt]]:
+        """Hunts grouped by CPU name."""
+        grouped: Dict[str, List[BugHunt]] = {}
+        for hunt in self.hunts:
+            grouped.setdefault(hunt.cpu, []).append(hunt)
+        return grouped
+
+    def table1_rows(self) -> List[Tuple[str, Dict[BugClass, int]]]:
+        """Detected-bug counts by class per CPU (the rows of Table 1)."""
+        rows = []
+        for cpu, hunts in self.by_cpu().items():
+            counts = {cls: 0 for cls in BugClass}
+            for hunt in hunts:
+                if hunt.detected:
+                    counts[hunt.bug_class] += 1
+            rows.append((cpu, counts))
+        return rows
+
+    def table2_rows(self) -> List[Tuple[str, Dict[FuncUnit, int]]]:
+        """Detected-bug counts by unit per CPU (the rows of Table 2).
+
+        Environment bugs and unit-less bugs are excluded, matching how
+        the paper's Table 2 reconciles with Table 1 (see
+        :mod:`repro.sim.cpus`).
+        """
+        rows = []
+        for cpu, hunts in self.by_cpu().items():
+            counts = {u: 0 for u in FuncUnit if u != FuncUnit.NONE}
+            for hunt in hunts:
+                if (
+                    hunt.detected
+                    and hunt.bug_class != BugClass.ENVIRONMENT
+                    and hunt.unit != FuncUnit.NONE
+                ):
+                    counts[hunt.unit] += 1
+            rows.append((cpu, counts))
+        return rows
+
+    def missed(self) -> List[BugHunt]:
+        """Hunts that exhausted their budget without a detection."""
+        return [h for h in self.hunts if not h.detected]
+
+
+def hunt_bug(
+    spec: BugSpec, cpu_name: str, config: CampaignConfig, bug_index: int = 0
+) -> BugHunt:
+    """Hunt one seeded bug with freshly generated tests.
+
+    One fault is active per run (the paper root-causes failures one at a
+    time); the seed stream is derived from the campaign seed, the CPU
+    name and the bug index so campaigns are exactly reproducible.
+    """
+    # zlib.crc32 rather than hash(): str hashing is randomized per
+    # process, which would make campaigns unreproducible across runs.
+    base = (
+        config.seed * 1_000_003
+        + (zlib.crc32(cpu_name.encode()) % 1_000_003) * 101
+        + bug_index * 7_919
+    )
+    for attempt in range(config.tests_per_bug):
+        seed = base + attempt
+        program = generate_program(config.generator, seed=seed)
+        fault = spec.instantiate()
+        machine = TsoMachine(
+            program, seed=seed, config=config.machine, faults=[fault]
+        )
+        observed = machine.run()
+        detected, via = _triage(spec, program, machine, observed, config.model)
+        if detected:
+            return BugHunt(
+                spec=spec, cpu=cpu_name, detected=True,
+                tests_run=attempt + 1, detected_on_seed=seed, via=via,
+            )
+    return BugHunt(
+        spec=spec, cpu=cpu_name, detected=False, tests_run=config.tests_per_bug
+    )
+
+
+def _triage(
+    spec: BugSpec,
+    program,
+    machine: TsoMachine,
+    observed,
+    model: MemoryModel,
+) -> Tuple[bool, str]:
+    """Classify one run's outcome against the hunted bug's class."""
+    if spec.bug_class == BugClass.MONITOR:
+        if machine.monitor_alarms and check(program, observed, model=model).ok:
+            return True, "spurious monitor alarm on a TSO-clean run"
+        return False, ""
+    if spec.bug_class == BugClass.ENVIRONMENT:
+        if not check(program, observed, model=model).ok:
+            true_result = check(program, machine.true_execution, model=model)
+            if true_result.ok:
+                return True, "observed trace fails analysis, true trace passes"
+        return False, ""
+    # Architecture / design: the machine itself misbehaved.
+    result = check(program, observed, model=model)
+    if not result.ok:
+        return True, f"TSO violation ({result.violation.kind.value})"
+    return False, ""
+
+
+def run_campaign(
+    cpus: Sequence[CpuConfig] = CPU_CONFIGS,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignResult:
+    """Hunt every seeded bug of every CPU; return the full result."""
+    config = config or CampaignConfig()
+    hunts: List[BugHunt] = []
+    start = time.perf_counter()
+    for cpu in cpus:
+        for index, spec in enumerate(cpu.bugs):
+            hunts.append(hunt_bug(spec, cpu.name, config, bug_index=index))
+    return CampaignResult(hunts=hunts, seconds=time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# Table rendering
+# ---------------------------------------------------------------------------
+
+_T1_COLS = [
+    BugClass.ARCHITECTURE, BugClass.DESIGN, BugClass.MONITOR, BugClass.ENVIRONMENT,
+]
+_T2_COLS = [
+    FuncUnit.PIPE, FuncUnit.CACHES, FuncUnit.TLB, FuncUnit.LSU,
+    FuncUnit.MEM_CNTLR, FuncUnit.INTERCONNECT,
+]
+
+
+def format_table1(result: CampaignResult) -> str:
+    """Render detected-bug counts by class — the shape of Table 1."""
+    header = ["CPU"] + [c.value for c in _T1_COLS]
+    rows = [header]
+    totals = {c: 0 for c in _T1_COLS}
+    for cpu, counts in result.table1_rows():
+        rows.append([cpu] + [str(counts[c]) for c in _T1_COLS])
+        for c in _T1_COLS:
+            totals[c] += counts[c]
+    rows.append(["Total"] + [str(totals[c]) for c in _T1_COLS])
+    return _render(rows)
+
+
+def format_table2(result: CampaignResult) -> str:
+    """Render detected-bug counts by unit — the shape of Table 2."""
+    header = ["CPU"] + [u.value for u in _T2_COLS]
+    rows = [header]
+    totals = {u: 0 for u in _T2_COLS}
+    for cpu, counts in result.table2_rows():
+        rows.append([cpu] + [str(counts[u]) for u in _T2_COLS])
+        for u in _T2_COLS:
+            totals[u] += counts[u]
+    rows.append(["Total"] + [str(totals[u]) for u in _T2_COLS])
+    return _render(rows)
+
+
+def _render(rows: List[List[str]]) -> str:
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for idx, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Test-coverage reporting (Sec. 3.1).
+
+"Users can improve the quality of testcases generated using tools which
+report test coverage."  This module computes, from one run, the
+quantities that matter for memory-system stress — how racy the test
+actually was, which mechanisms it touched, how hard it pushed the
+queues — so users can tune generator knobs toward the corners they care
+about (and so the pattern ablation has something objective to point at).
+
+Two layers:
+
+* trace-derived metrics (:class:`CoverageReport`), computable from any
+  ``(program, execution)`` pair — including traces re-loaded from the
+  standalone text interface;
+* machine-derived metrics, merged in when the run's
+  :class:`~repro.sim.machine.TsoMachine` is available (forwarding and
+  cache-hit counts, store-buffer high-water marks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.model.ops import (
+    WORD_SIZE,
+    IBlockLoad,
+    IBlockStore,
+    IBranch,
+    ICas,
+    IFlushCache,
+    IFlushPipe,
+    IInterrupt,
+    ILoad,
+    IMembar,
+    INonFaultingLoad,
+    IPrefetch,
+    IStore,
+    ISwap,
+)
+from repro.model.program import Program
+from repro.model.trace import DynRecord, Execution
+from repro.sim.machine import TsoMachine
+
+
+def _instr_kind(rec: DynRecord) -> str:
+    instr = rec.instr
+    if isinstance(instr, ICas):
+        return "cas_ok" if rec.cas_ok else "cas_fail"
+    for cls, name in (
+        (ILoad, "load"), (IStore, "store"), (ISwap, "swap"),
+        (IMembar, "membar"), (IBlockLoad, "block_load"),
+        (IBlockStore, "block_store"), (INonFaultingLoad, "nonfaulting_load"),
+        (IPrefetch, "prefetch"), (IFlushCache, "flush_cache"),
+        (IFlushPipe, "flush_pipe"), (IBranch, "branch"),
+        (IInterrupt, "interrupt"),
+    ):
+        if isinstance(instr, cls):
+            return name
+    return "other"
+
+
+@dataclass
+class CoverageReport:
+    """What one test run actually exercised.
+
+    Attributes:
+        instr_counts: executed dynamic records by kind (CAS split into
+            successful and failed — a failed CAS means a racing store won
+            the compare window, a coverage event in its own right).
+        words_touched: shared words with at least one access.
+        write_shared_words: words stored to by two or more processors —
+            the core of "intense sharing".
+        race_pairs: distinct (writer CPU, reader/writer CPU, word)
+            conflicts: pairs of processors that actually collided on a
+            word with at least one side writing.
+        sharing_histogram: word -> number of distinct CPUs accessing it.
+        branch_taken / branch_not_taken: resolved branch directions.
+        atomic_contended_words: words targeted by atomics from more than
+            one CPU.
+        machine: counters merged from :class:`~repro.sim.machine.MachineStats`
+            when available (empty otherwise).
+    """
+
+    instr_counts: Dict[str, int] = field(default_factory=dict)
+    words_touched: int = 0
+    write_shared_words: int = 0
+    race_pairs: int = 0
+    sharing_histogram: Dict[int, int] = field(default_factory=dict)
+    branch_taken: int = 0
+    branch_not_taken: int = 0
+    atomic_contended_words: int = 0
+    machine: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_memory_ops(self) -> int:
+        """Dynamic records carrying data (loads/stores/atomics/blocks)."""
+        keys = (
+            "load", "store", "swap", "cas_ok", "cas_fail",
+            "block_load", "block_store", "nonfaulting_load",
+        )
+        return sum(self.instr_counts.get(k, 0) for k in keys)
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = ["coverage report"]
+        lines.append("  instruction mix (executed):")
+        for kind in sorted(self.instr_counts):
+            lines.append(f"    {kind:18s} {self.instr_counts[kind]}")
+        lines.append(f"  shared words touched      : {self.words_touched}")
+        lines.append(f"  write-shared words        : {self.write_shared_words}")
+        lines.append(f"  racing processor pairs    : {self.race_pairs}")
+        lines.append(f"  atomic-contended words    : {self.atomic_contended_words}")
+        total_branches = self.branch_taken + self.branch_not_taken
+        if total_branches:
+            lines.append(
+                f"  branch directions         : {self.branch_taken} taken / "
+                f"{self.branch_not_taken} not taken"
+            )
+        for key in sorted(self.machine):
+            lines.append(f"  machine.{key:17s} : {self.machine[key]}")
+        return "\n".join(lines)
+
+
+def measure_coverage(
+    program: Program,
+    execution: Execution,
+    machine: Optional[TsoMachine] = None,
+) -> CoverageReport:
+    """Compute a :class:`CoverageReport` for one run."""
+    report = CoverageReport()
+    writers: Dict[int, Set[int]] = {}   # word -> CPUs that stored to it
+    accessors: Dict[int, Set[int]] = {} # word -> CPUs that touched it
+    atomics: Dict[int, Set[int]] = {}   # word -> CPUs doing atomics
+
+    for pid, proc in enumerate(execution.records):
+        for rec in proc:
+            kind = _instr_kind(rec)
+            report.instr_counts[kind] = report.instr_counts.get(kind, 0) + 1
+            if isinstance(rec.instr, IBranch):
+                if rec.taken:
+                    report.branch_taken += 1
+                else:
+                    report.branch_not_taken += 1
+            addr = getattr(rec.instr, "addr", None)
+            if addr is None:
+                continue
+            nwords = rec.instr.words()
+            for w in range(nwords):
+                word = addr + w * WORD_SIZE
+                accessors.setdefault(word, set()).add(pid)
+                if rec.stored is not None:
+                    writers.setdefault(word, set()).add(pid)
+                if isinstance(rec.instr, (ISwap, ICas)):
+                    atomics.setdefault(word, set()).add(pid)
+
+    report.words_touched = len(accessors)
+    report.write_shared_words = sum(1 for cpus in writers.values() if len(cpus) > 1)
+    report.atomic_contended_words = sum(
+        1 for cpus in atomics.values() if len(cpus) > 1
+    )
+    report.sharing_histogram = {
+        word: len(cpus) for word, cpus in accessors.items()
+    }
+
+    pairs: Set[Tuple[int, int, int]] = set()
+    for word, writer_set in writers.items():
+        for writer in writer_set:
+            for other in accessors.get(word, ()):  # readers and writers
+                if other != writer:
+                    pairs.add((min(writer, other), max(writer, other), word))
+    report.race_pairs = len(pairs)
+
+    if machine is not None:
+        stats = machine.stats
+        report.machine = {
+            "forwards": stats.forwards,
+            "cache_hits": stats.cache_hits,
+            "memory_reads": stats.memory_reads,
+            "commits": stats.commits,
+            "invalidations": stats.invalidations,
+            "buffer_highwater": list(stats.buffer_highwater),
+            "ipis_delivered": stats.ipis_delivered,
+            "writebacks": stats.writebacks,
+            "snoop_hits": stats.snoop_hits,
+        }
+    return report

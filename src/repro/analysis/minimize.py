@@ -1,0 +1,190 @@
+"""Failing-trace minimization — the paper's debuggability future work.
+
+Sec. 7: "In future, we expect to ... make TSOtool failures easier to
+debug."  A randomly generated failing run carries hundreds of
+operations, almost all irrelevant to the violation; this module shrinks
+it to a minimal failing core with delta debugging over the dynamic
+records:
+
+1. drop whole processors that contribute nothing to the failure;
+2. ddmin-style chunk removal over each processor's record list;
+3. a final one-by-one sweep.
+
+A candidate reduction is accepted only if the reduced trace still fails
+**with a cycle violation** — removals that merely orphan a load's value
+(turning the failure into an unmapped-value precheck) would "minimize"
+toward a different, uninteresting failure, so they are rejected.
+
+The result is typically litmus-sized (the Sec. 5.1 bug write-ups are
+two-to-four operations per processor) and feeds directly into the
+what-if workflow or the DOT rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.api import check_execution
+from repro.core.policy import TSO, MemoryModel
+from repro.core.result import CheckResult, ViolationKind
+from repro.model.trace import DynRecord, Execution
+
+
+@dataclass
+class MinimizationResult:
+    """A minimal failing trace plus accounting."""
+
+    execution: Execution
+    result: CheckResult
+    original_records: int
+    checks_run: int
+
+    @property
+    def minimized_records(self) -> int:
+        """Record count of the minimized trace."""
+        return self.execution.total_records()
+
+
+def _fails_with_cycle(
+    records: List[List[DynRecord]],
+    initial: Optional[Dict[int, int]],
+    model: MemoryModel,
+) -> Optional[CheckResult]:
+    """The check result if this candidate still fails with a cycle."""
+    try:
+        result = check_execution(Execution(records=records), initial=initial,
+                                 model=model)
+    except ValueError:
+        return None
+    if result.ok or result.violation is None:
+        return None
+    if result.violation.kind != ViolationKind.CYCLE:
+        return None
+    return result
+
+
+def minimize_failure(
+    execution: Execution,
+    initial: Optional[Dict[int, int]] = None,
+    model: MemoryModel = TSO,
+    max_checks: int = 5_000,
+) -> MinimizationResult:
+    """Shrink a failing execution to a minimal failing core.
+
+    Args:
+        execution: a trace that fails the check with a cycle violation.
+        initial: initial memory values (as for
+            :func:`repro.core.api.check_execution`).
+        model: memory model to minimize against.
+        max_checks: budget on re-analysis calls; minimization stops
+            early (still sound — the trace fails) when exhausted.
+
+    Raises:
+        ValueError: if the input does not fail with a cycle to begin with.
+    """
+    records = [list(proc) for proc in execution.records]
+    state = _State(initial, model, max_checks)
+    result = _fails_with_cycle(records, initial, model)
+    if result is None:
+        raise ValueError("input execution does not fail with a cycle")
+
+    records, result = _drop_processors(records, result, state)
+    records, result = _ddmin_chunks(records, result, state)
+    records, result = _one_by_one(records, result, state)
+
+    return MinimizationResult(
+        execution=Execution(records=records),
+        result=result,
+        original_records=execution.total_records(),
+        checks_run=state.checks,
+    )
+
+
+class _State:
+    def __init__(self, initial, model, max_checks) -> None:
+        self.initial = initial
+        self.model = model
+        self.max_checks = max_checks
+        self.checks = 0
+
+    def attempt(self, records) -> Optional[CheckResult]:
+        if self.checks >= self.max_checks:
+            return None
+        self.checks += 1
+        return _fails_with_cycle(records, self.initial, self.model)
+
+
+def _drop_processors(records, result, state):
+    """Try emptying whole processors (keep indices stable)."""
+    for pid in range(len(records)):
+        if not records[pid]:
+            continue
+        candidate = [list(p) for p in records]
+        candidate[pid] = []
+        attempt = state.attempt(candidate)
+        if attempt is not None:
+            records, result = candidate, attempt
+    return records, result
+
+
+def _ddmin_chunks(records, result, state):
+    """Remove halving chunks per processor until nothing shrinks."""
+    changed = True
+    while changed:
+        changed = False
+        for pid in range(len(records)):
+            chunk = max(1, len(records[pid]) // 2)
+            while chunk >= 1:
+                start = 0
+                while start < len(records[pid]):
+                    candidate = [list(p) for p in records]
+                    del candidate[pid][start:start + chunk]
+                    attempt = state.attempt(candidate)
+                    if attempt is not None:
+                        records, result = candidate, attempt
+                        changed = True
+                    else:
+                        start += chunk
+                chunk //= 2
+    return records, result
+
+
+def _one_by_one(records, result, state):
+    """Final sweep: every remaining record must be load-bearing."""
+    pid = 0
+    while pid < len(records):
+        idx = 0
+        while idx < len(records[pid]):
+            candidate = [list(p) for p in records]
+            del candidate[pid][idx]
+            attempt = state.attempt(candidate)
+            if attempt is not None:
+                records, result = candidate, attempt
+            else:
+                idx += 1
+        pid += 1
+    return records, result
+
+
+def render_minimized(minimized: MinimizationResult) -> str:
+    """A litmus-style listing of the minimal failing core."""
+    lines = [
+        f"minimal failing core: {minimized.minimized_records} of "
+        f"{minimized.original_records} records "
+        f"({minimized.checks_run} re-analyses)",
+    ]
+    for pid, proc in enumerate(minimized.execution.records):
+        if not proc:
+            continue
+        parts = []
+        for rec in proc:
+            part = rec.instr.mnemonic()
+            if rec.loaded is not None:
+                part += f" ={list(rec.loaded)}"
+            if rec.stored is not None:
+                part += f" #{list(rec.stored)}"
+            parts.append(part)
+        lines.append(f"  P{pid}: " + " ; ".join(parts))
+    lines.append(minimized.result.explain())
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Failure-reproduction study (Sec. 5.2).
+
+"Since TSOtool is often able to trigger and detect problems in
+system-level environments using relatively short test programs, a
+TSOtool test failure on hardware has a good probability of being
+reproduced in the simulation environment.  This is critical for porting
+the test to simulation environments, where debugging is easier but
+speeds are much lower than on physical hardware."
+
+The reproduction analogue: take a test program that *failed* on a buggy
+machine, and re-run the *same program* under fresh random interleavings
+(the "different environment" — timing is the only thing that changes).
+The study measures the probability that the failure manifests again, as
+a function of test length and bug mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Type
+
+from repro.core.api import check
+from repro.core.policy import TSO, MemoryModel
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.sim.faults import Fault
+from repro.sim.machine import MachineConfig, TsoMachine
+
+
+@dataclass
+class ReproductionPoint:
+    """Reproduction statistics for one (mechanism, test length) cell."""
+
+    mechanism: str
+    ops_per_proc: int
+    failures_found: int
+    reruns_per_failure: int
+    reproduction_rate: float
+    search_tests: int
+
+    def row(self) -> str:
+        """Fixed-width text row for the harness output."""
+        return (
+            f"{self.mechanism:28s} ops={self.ops_per_proc:<5d} "
+            f"failures={self.failures_found:<3d} "
+            f"repro_rate={self.reproduction_rate:6.1%} "
+            f"(over {self.reruns_per_failure} reruns each)"
+        )
+
+
+def reproduction_study(
+    mechanism: Type[Fault],
+    rate: float,
+    ops_per_proc: int,
+    failures: int = 8,
+    reruns: int = 10,
+    nprocs: int = 4,
+    shared_words: int = 6,
+    model: MemoryModel = TSO,
+    search_budget: int = 400,
+    base_seed: int = 0,
+) -> Optional[ReproductionPoint]:
+    """Measure how often a failing test's failure reproduces on re-run.
+
+    Finds up to ``failures`` (program, seed) pairs whose first run fails
+    the check with ``mechanism`` active, then re-runs each program under
+    ``reruns`` fresh machine seeds (same program, same fault, different
+    interleavings) and reports the mean fraction of re-runs that fail
+    again.  Returns ``None`` if no failure is found within the budget.
+    """
+    config = GeneratorConfig(
+        nprocs=nprocs, ops_per_proc=ops_per_proc, shared_words=shared_words
+    )
+    rates: List[float] = []
+    searched = 0
+    seed = base_seed
+    while len(rates) < failures and searched < search_budget:
+        seed += 1
+        searched += 1
+        program = generate_program(config, seed=seed)
+        machine = TsoMachine(program, seed=seed, faults=[mechanism(rate=rate)])
+        if check(program, machine.run(), model=model).ok:
+            continue
+        reproduced = 0
+        for rerun in range(reruns):
+            rerun_seed = 1_000_000 + seed * 131 + rerun
+            again = TsoMachine(
+                program, seed=rerun_seed, faults=[mechanism(rate=rate)]
+            )
+            if not check(program, again.run(), model=model).ok:
+                reproduced += 1
+        rates.append(reproduced / reruns)
+    if not rates:
+        return None
+    return ReproductionPoint(
+        mechanism=mechanism.__name__,
+        ops_per_proc=ops_per_proc,
+        failures_found=len(rates),
+        reruns_per_failure=reruns,
+        reproduction_rate=sum(rates) / len(rates),
+        search_tests=searched,
+    )
+
+
+def sweep_reproduction(
+    cases: Sequence[tuple],
+    ops_points: Sequence[int],
+    failures: int = 8,
+    reruns: int = 10,
+) -> List[ReproductionPoint]:
+    """Run the study over (mechanism, rate) cases x test lengths."""
+    points = []
+    for mechanism, rate in cases:
+        for ops in ops_points:
+            point = reproduction_study(
+                mechanism, rate, ops, failures=failures, reruns=reruns
+            )
+            if point is not None:
+                points.append(point)
+    return points

@@ -1,0 +1,140 @@
+"""Analysis-runtime measurement — the harness behind Figures 8 and 9.
+
+Fig. 8 plots analysis runtime against total memory operations for 2, 4,
+8 and 16 processors at 16 shared words; Fig. 9 the same sweep for a
+varying number of shared addresses at 4 processors.  The paper's claims
+are about shape, not absolute numbers (theirs is a 450 MHz
+UltraSPARC-II):
+
+* runtime scales roughly linearly with total operations for fixed
+  processor/address counts;
+* more processors → denser cross-processor ordering → slower;
+* more shared addresses → sparser graph, more dispersed relations, more
+  R6/R7 traversal → slower.
+
+:func:`sweep_runtime` generates *passing* runs on the golden machine (a
+violation would end analysis early and skew timing) and times the
+checker on each, returning the series to print or benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.api import make_checker
+from repro.core.policy import TSO, MemoryModel
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.model.expansion import expand
+from repro.sim.machine import MachineConfig, TsoMachine
+
+
+@dataclass
+class RuntimePoint:
+    """One measurement: a configuration and its analysis runtime."""
+
+    nprocs: int
+    shared_words: int
+    total_ops: int
+    nodes: int
+    edges: int
+    iterations: int
+    seconds: float
+
+    def row(self) -> str:
+        """Fixed-width text row for the harness output."""
+        return (
+            f"procs={self.nprocs:<3d} words={self.shared_words:<4d} "
+            f"ops={self.total_ops:<7d} nodes={self.nodes:<7d} "
+            f"edges={self.edges:<8d} iters={self.iterations:<3d} "
+            f"time={self.seconds * 1e3:9.2f} ms"
+        )
+
+
+#: A measurement-friendly mix: loads/stores/atomics only, so node count
+#: tracks the requested op count closely.
+_MEASURE_MIX = InstructionMix(
+    load=40.0, store=40.0, swap=3.0, cas=3.0, membar=3.0,
+    block_load=0.0, block_store=0.0, nonfaulting_load=0.0,
+    prefetch=0.0, flush=0.0, branch=0.0, interrupt=0.0,
+)
+
+
+def measure_runtime(
+    nprocs: int,
+    shared_words: int,
+    total_ops: int,
+    seed: int = 0,
+    model: MemoryModel = TSO,
+    engine: str = "closure",
+    repeats: int = 1,
+) -> RuntimePoint:
+    """Generate one passing run and time its analysis.
+
+    ``total_ops`` is split evenly across processors.  The reported time
+    is the minimum over ``repeats`` checker invocations (generation and
+    simulation are excluded — the paper times only the analysis).
+    """
+    config = GeneratorConfig(
+        nprocs=nprocs,
+        ops_per_proc=max(1, total_ops // nprocs),
+        shared_words=shared_words,
+        mix=_MEASURE_MIX,
+        loop_prob=0.0,
+    )
+    program = generate_program(config, seed=seed)
+    machine = TsoMachine(program, seed=seed, config=MachineConfig())
+    execution = machine.run()
+    aprog = expand(
+        execution, initial=program.initial, word_names=program.word_names
+    )
+    checker = make_checker(model, engine)
+    best: Optional[float] = None
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = checker.run(aprog)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    assert result is not None
+    if not result.ok:
+        raise RuntimeError(
+            "golden machine produced a failing run — this is a bug: \n"
+            + result.explain()
+        )
+    return RuntimePoint(
+        nprocs=nprocs,
+        shared_words=shared_words,
+        total_ops=total_ops,
+        nodes=result.stats.nodes,
+        edges=result.stats.edges,
+        iterations=result.stats.iterations,
+        seconds=best,
+    )
+
+
+def sweep_runtime(
+    proc_counts: Sequence[int],
+    word_counts: Sequence[int],
+    ops_points: Sequence[int],
+    seed: int = 0,
+    engine: str = "closure",
+) -> List[RuntimePoint]:
+    """Cartesian runtime sweep over processors × shared words × ops."""
+    points = []
+    for nprocs in proc_counts:
+        for words in word_counts:
+            for ops in ops_points:
+                points.append(
+                    measure_runtime(nprocs, words, ops, seed=seed, engine=engine)
+                )
+    return points
+
+
+def format_series(points: Iterable[RuntimePoint], title: str) -> str:
+    """Render a sweep as the text the benchmark harness prints."""
+    lines = [title]
+    lines.extend("  " + p.row() for p in points)
+    return "\n".join(lines)

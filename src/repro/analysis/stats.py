@@ -1,0 +1,137 @@
+"""Statistical summaries for campaign results.
+
+The paper reports raw bug counts; this module adds the statistics a
+verification lead actually tracks during a campaign: detection-latency
+distributions (tests to first failure per bug), per-mechanism and
+per-unit difficulty, and bootstrap confidence intervals on detection
+rates — all derived from :class:`~repro.analysis.campaign.CampaignResult`
+objects or raw hunt lists, with no dependencies beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.campaign import BugHunt, CampaignResult
+
+
+@dataclass
+class LatencySummary:
+    """Distribution summary of tests-to-detection for a set of hunts."""
+
+    count: int
+    detected: int
+    mean: float
+    median: float
+    p90: float
+    maximum: int
+
+    def row(self) -> str:
+        """Fixed-width text row."""
+        return (
+            f"n={self.count:<4d} detected={self.detected:<4d} "
+            f"mean={self.mean:5.2f} median={self.median:4.1f} "
+            f"p90={self.p90:4.1f} max={self.maximum}"
+        )
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = q * (len(sorted_values) - 1)
+    low = int(math.floor(index))
+    high = int(math.ceil(index))
+    if low == high:
+        return float(sorted_values[low])
+    frac = index - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def detection_latency(hunts: Iterable[BugHunt]) -> LatencySummary:
+    """Summarize tests-to-detection over detected hunts.
+
+    Undetected hunts contribute to ``count`` but not to the latency
+    distribution (their latency is right-censored at the budget).
+    """
+    hunts = list(hunts)
+    latencies = sorted(h.tests_run for h in hunts if h.detected)
+    detected = len(latencies)
+    if not latencies:
+        return LatencySummary(
+            count=len(hunts), detected=0, mean=float("nan"),
+            median=float("nan"), p90=float("nan"), maximum=0,
+        )
+    return LatencySummary(
+        count=len(hunts),
+        detected=detected,
+        mean=sum(latencies) / detected,
+        median=_quantile(latencies, 0.5),
+        p90=_quantile(latencies, 0.9),
+        maximum=latencies[-1],
+    )
+
+
+def latency_by_mechanism(result: CampaignResult) -> Dict[str, LatencySummary]:
+    """Detection-latency summaries grouped by fault mechanism."""
+    groups: Dict[str, List[BugHunt]] = {}
+    for hunt in result.hunts:
+        groups.setdefault(hunt.spec.mechanism.__name__, []).append(hunt)
+    return {name: detection_latency(hunts) for name, hunts in groups.items()}
+
+
+def latency_by_unit(result: CampaignResult) -> Dict[str, LatencySummary]:
+    """Detection-latency summaries grouped by functional unit."""
+    groups: Dict[str, List[BugHunt]] = {}
+    for hunt in result.hunts:
+        groups.setdefault(hunt.unit.value, []).append(hunt)
+    return {name: detection_latency(hunts) for name, hunts in groups.items()}
+
+
+def bootstrap_detection_rate(
+    successes: int,
+    trials: int,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """(rate, low, high): bootstrap CI on a binomial detection rate.
+
+    Percentile bootstrap over Bernoulli resamples; deterministic per
+    seed.  Degenerate inputs (0 trials) return NaNs.
+    """
+    if trials <= 0:
+        nan = float("nan")
+        return nan, nan, nan
+    rate = successes / trials
+    rng = random.Random(seed)
+    samples = []
+    for _ in range(resamples):
+        hits = sum(1 for _ in range(trials) if rng.random() < rate)
+        samples.append(hits / trials)
+    samples.sort()
+    alpha = (1 - confidence) / 2
+    return rate, _quantile(samples, alpha), _quantile(samples, 1 - alpha)
+
+
+def render_campaign_stats(result: CampaignResult) -> str:
+    """A text block with the full statistical picture of a campaign."""
+    lines = ["campaign statistics"]
+    overall = detection_latency(result.hunts)
+    lines.append(f"  overall            {overall.row()}")
+    lines.append("  by mechanism:")
+    for name, summary in sorted(latency_by_mechanism(result).items()):
+        lines.append(f"    {name:28s} {summary.row()}")
+    lines.append("  by functional unit:")
+    for name, summary in sorted(latency_by_unit(result).items()):
+        lines.append(f"    {name:28s} {summary.row()}")
+    rate, low, high = bootstrap_detection_rate(
+        sum(1 for h in result.hunts if h.detected), len(result.hunts)
+    )
+    lines.append(
+        f"  detection rate     {rate:.1%} "
+        f"(95% bootstrap CI {low:.1%} – {high:.1%})"
+    )
+    return "\n".join(lines)

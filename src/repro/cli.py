@@ -1,0 +1,315 @@
+"""Command-line interface — the Fig. 1 three-phase flow as commands.
+
+::
+
+    tsotool generate --procs 4 --ops 100 --words 16 --seed 1 -o test.trace
+    tsotool run      --procs 4 --ops 100 --seed 1 -o run.trace
+    tsotool check    run.trace                  # standalone analysis
+    tsotool litmus   fig3                       # paper examples by name
+    tsotool campaign --table 1                  # regenerate Table 1
+    tsotool runtime  --figure 8                 # regenerate Fig. 8 series
+    tsotool emit     --procs 4 --ops 100 -o test.S   # SPARC V9 assembly
+    tsotool coverage --procs 4 --ops 200        # Sec. 3.1 coverage report
+
+``generate`` emits the program listing; ``run`` generates, executes on
+the simulated TSO machine, and writes the observed trace in the
+standalone-analysis text format; ``check`` re-analyzes such a trace
+(after optional hand edits — the Sec. 3.4 what-if flow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.campaign import (
+    CampaignConfig,
+    format_table1,
+    format_table2,
+    run_campaign,
+)
+from repro.analysis.coverage import measure_coverage
+from repro.analysis.minimize import minimize_failure, render_minimized
+from repro.analysis.report import ReportConfig, build_report
+from repro.analysis.runtime import format_series, sweep_runtime
+from repro.emit.c11 import c11_generator_config, emit_c11
+from repro.emit.sparc import emit_sparc
+from repro.core.api import check, check_execution, check_litmus
+from repro.core.htmlreport import render_html
+from repro.core.policy import PSO, SC, TSO
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.generator.litmus import LITMUS_LIBRARY, litmus_by_name
+from repro.model.program import format_program, parse_litmus
+from repro.model.trace import Execution
+from repro.sim.machine import MachineConfig, TsoMachine
+
+_MODELS = {"TSO": TSO, "SC": SC, "PSO": PSO}
+
+
+def _add_generation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--procs", type=int, default=4, help="processor count")
+    parser.add_argument("--ops", type=int, default=100, help="instructions per processor")
+    parser.add_argument("--words", type=int, default=16, help="shared 4-byte words")
+    parser.add_argument("--seed", type=int, default=0, help="PRNG seed")
+
+
+def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
+    return GeneratorConfig(
+        nprocs=args.procs, ops_per_proc=args.ops, shared_words=args.words
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    program = generate_program(_generator_config(args), seed=args.seed)
+    text = format_program(program)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = generate_program(_generator_config(args), seed=args.seed)
+    machine = TsoMachine(program, seed=args.seed, config=MachineConfig())
+    execution = machine.run()
+    trace = execution.dump()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(trace)
+        print(f"wrote {execution.total_records()} records to {args.output}")
+    else:
+        sys.stdout.write(trace)
+    result = check(program, execution, model=_MODELS[args.model])
+    print(result.explain())
+    return 0 if result.ok else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    with open(args.trace) as fh:
+        execution = Execution.load(fh.read())
+    result = check_execution(
+        execution, model=_MODELS[args.model], engine=args.engine
+    )
+    print(result.explain())
+    if args.dot and result.violation is not None:
+        with open(args.dot, "w") as fh:
+            fh.write(result.to_dot())
+        print(f"wrote violation graph to {args.dot}")
+    if args.graph:
+        with open(args.graph, "w") as fh:
+            fh.write(result.dump_graph())
+        print(f"wrote analysis graph to {args.graph}")
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(render_html(result, title=f"tsotool check {args.trace}"))
+        print(f"wrote interactive debug report to {args.html}")
+    return 0 if result.ok else 1
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    with open(args.trace) as fh:
+        execution = Execution.load(fh.read())
+    try:
+        minimized = minimize_failure(
+            execution, model=_MODELS[args.model], max_checks=args.max_checks
+        )
+    except ValueError as exc:
+        print(f"cannot minimize: {exc}")
+        return 2
+    print(render_minimized(minimized))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(minimized.execution.dump())
+        print(f"wrote minimized trace to {args.output}")
+    return 0
+
+
+def _cmd_emit(args: argparse.Namespace) -> int:
+    if args.lang == "c11":
+        config = c11_generator_config(
+            nprocs=args.procs, ops_per_proc=args.ops, shared_words=args.words
+        )
+        program = generate_program(config, seed=args.seed)
+        text = emit_c11(program)
+    else:
+        program = generate_program(_generator_config(args), seed=args.seed)
+        text = emit_sparc(program)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(text.splitlines())} lines of {args.lang} to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    program = generate_program(_generator_config(args), seed=args.seed)
+    machine = TsoMachine(program, seed=args.seed, config=MachineConfig())
+    execution = machine.run()
+    report = measure_coverage(program, execution, machine)
+    print(report.render())
+    return 0
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    if args.name == "list":
+        for case in LITMUS_LIBRARY:
+            marks = ", ".join(
+                f"{m}:{'pass' if ok else 'FAIL'}" for m, ok in case.expect.items()
+            )
+            print(f"{case.name:20s} [{marks}] {case.paper_ref}")
+        return 0
+    case = litmus_by_name(args.name)
+    print(f"# {case.name} ({case.paper_ref or 'classic'})")
+    print(case.description)
+    exit_code = 0
+    for model_name in case.expect:
+        result = check_litmus(case.text, model=_MODELS[model_name])
+        verdict = "PASS" if result.ok else "FAIL"
+        expected = "PASS" if case.expect[model_name] else "FAIL"
+        status = "ok" if result.ok == case.expect[model_name] else "UNEXPECTED"
+        print(f"[{model_name}] {verdict} (expected {expected}) — {status}")
+        if not result.ok and args.explain:
+            print(result.explain())
+        if result.ok != case.expect[model_name]:
+            exit_code = 2
+    return exit_code
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = CampaignConfig(tests_per_bug=args.tests_per_bug, seed=args.seed)
+    result = run_campaign(config=config)
+    if args.table in (0, 1):
+        print("Table 1: bugs found, by class")
+        print(format_table1(result))
+        print()
+    if args.table in (0, 2):
+        print("Table 2: bugs found, by functional unit")
+        print(format_table2(result))
+        print()
+    missed = result.missed()
+    print(
+        f"{len(result.hunts) - len(missed)}/{len(result.hunts)} seeded bugs "
+        f"detected in {result.seconds:.1f}s"
+    )
+    for hunt in missed:
+        print(f"  missed: {hunt.spec.name} ({hunt.spec.mechanism.__name__})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = build_report(ReportConfig(tests_per_bug=args.tests_per_bug))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote reproduction report to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    if args.figure == 8:
+        points = sweep_runtime(
+            proc_counts=[2, 4, 8, 16], word_counts=[16],
+            ops_points=args.ops_points, seed=args.seed, engine=args.engine,
+        )
+        print(format_series(points, "Fig. 8: analysis time vs ops, by processor count"))
+    else:
+        points = sweep_runtime(
+            proc_counts=[4], word_counts=[4, 16, 64],
+            ops_points=args.ops_points, seed=args.seed, engine=args.engine,
+        )
+        print(format_series(points, "Fig. 9: analysis time vs ops, by shared addresses"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tsotool", description="TSOtool reproduction (ISCA 2004)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a racy test program")
+    _add_generation_args(p)
+    p.add_argument("-o", "--output", help="write listing to a file")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("run", help="generate, simulate, and check a test")
+    _add_generation_args(p)
+    p.add_argument("-o", "--output", help="write the trace to a file")
+    p.add_argument("--model", choices=sorted(_MODELS), default="TSO")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("check", help="analyze a trace file (what-if friendly)")
+    p.add_argument("trace", help="trace file from 'run' (optionally edited)")
+    p.add_argument("--model", choices=sorted(_MODELS), default="TSO")
+    p.add_argument("--engine", choices=["closure", "baseline", "matrix"], default="closure")
+    p.add_argument("--dot", help="write the violation region as Graphviz DOT")
+    p.add_argument("--graph", help="write the full analysis graph as text")
+    p.add_argument("--html", help="write a clickable HTML debug report")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("minimize", help="shrink a failing trace to its core")
+    p.add_argument("trace", help="failing trace file from 'run'")
+    p.add_argument("--model", choices=sorted(_MODELS), default="TSO")
+    p.add_argument("--max-checks", type=int, default=5000)
+    p.add_argument("-o", "--output", help="write the minimized trace")
+    p.set_defaults(func=_cmd_minimize)
+
+    p = sub.add_parser(
+        "emit", help="emit a test as SPARC V9 assembly or a C11 program"
+    )
+    _add_generation_args(p)
+    p.add_argument("--lang", choices=["sparc", "c11"], default="sparc")
+    p.add_argument("-o", "--output", help="write the emitted source to a file")
+    p.set_defaults(func=_cmd_emit)
+
+    p = sub.add_parser("coverage", help="run a test and report its coverage")
+    _add_generation_args(p)
+    p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser("litmus", help="run a named litmus case ('list' to list)")
+    p.add_argument("name")
+    p.add_argument("--explain", action="store_true", help="print violation chains")
+    p.set_defaults(func=_cmd_litmus)
+
+    p = sub.add_parser("campaign", help="regenerate Tables 1 and 2")
+    p.add_argument("--table", type=int, choices=[0, 1, 2], default=0,
+                   help="which table (0 = both)")
+    p.add_argument("--tests-per-bug", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2004)
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "report", help="run the whole evaluation and write one report"
+    )
+    p.add_argument("-o", "--output", help="write the markdown report here")
+    p.add_argument("--tests-per-bug", type=int, default=10)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("runtime", help="regenerate the Fig. 8/9 series")
+    p.add_argument("--figure", type=int, choices=[8, 9], default=8)
+    p.add_argument("--ops-points", type=int, nargs="+",
+                   default=[400, 800, 1600, 3200])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["closure", "baseline", "matrix"], default="closure")
+    p.set_defaults(func=_cmd_runtime)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

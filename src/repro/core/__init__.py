@@ -1,0 +1,53 @@
+"""The paper's contribution: the polynomial-time memory-model checker.
+
+Public surface:
+
+* :data:`repro.core.policy.TSO` / ``SC`` / ``PSO`` — memory-model
+  ordering policies (Sec. 2 and footnote 2 of Sec. 4),
+* :func:`repro.core.api.check` / :func:`repro.core.api.check_execution` /
+  :func:`repro.core.api.check_litmus` — one-call checking,
+* :class:`repro.core.result.CheckResult` — verdict, violation witness
+  with per-edge reasons, DOT export,
+* :class:`repro.core.checker.BaselineChecker` — the literal Fig. 2
+  algorithm,
+* :class:`repro.core.closure.ClosureChecker` — the optimized engine
+  (incremental transitive closure),
+* :func:`repro.core.complete.complete_check` — the exponential complete
+  decision procedure (enforces the Order axiom; small programs only).
+"""
+
+from repro.core.policy import TSO, SC, PSO, MemoryModel
+from repro.core.api import check, check_execution, check_litmus
+from repro.core.result import CheckResult, Violation, ViolationKind, EdgeReason
+from repro.core.checker import BaselineChecker
+from repro.core.closure import ClosureChecker
+from repro.core.matrix import MatrixChecker
+from repro.core.complete import complete_check, CompleteResult
+from repro.core.axioms import verify_witness
+from repro.core.htmlreport import render_html
+from repro.core.reduction import vsc_to_vtso
+from repro.core.observability import ObservabilityChecker, check_with_store_order
+
+__all__ = [
+    "TSO",
+    "SC",
+    "PSO",
+    "MemoryModel",
+    "check",
+    "check_execution",
+    "check_litmus",
+    "CheckResult",
+    "Violation",
+    "ViolationKind",
+    "EdgeReason",
+    "BaselineChecker",
+    "ClosureChecker",
+    "MatrixChecker",
+    "complete_check",
+    "CompleteResult",
+    "verify_witness",
+    "render_html",
+    "vsc_to_vtso",
+    "ObservabilityChecker",
+    "check_with_store_order",
+]

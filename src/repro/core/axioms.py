@@ -1,0 +1,169 @@
+"""Direct axiom verification of a candidate global order (Sec. 2).
+
+Given an :class:`~repro.model.expansion.AnalysisProgram` and a *total
+order* over its operations (for instance the witness returned by
+:func:`~repro.core.complete.complete_check`), check every memory-model
+axiom literally, one quantifier at a time:
+
+* **Order** — total by construction of the input; checked for
+  well-formedness (a permutation of all ops).
+* **LoadOp / StoreStore / Membar** — program-order pairs the model
+  preserves appear in the same order globally.
+* **Atomicity** — no foreign store falls between an atomic group's load
+  and store parts.
+* **Value** — every load returns
+  ``Val[Max({S <= L} ∪ {S ; L})]``, computed exactly as written: the
+  globally latest element of the union of its two store sets.
+
+This is the slow, obviously-correct spelling of the model — O(n²)-ish
+and proud of it.  It exists as the third leg of the correctness
+triangle: the polynomial checker (fast, incomplete), the exponential
+search (complete, returns witnesses), and this verifier (checks any
+witness against the axioms with no shared machinery).  Property tests
+close the triangle: every ``complete_check`` witness must satisfy every
+axiom here, and shuffled non-witness orders must not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policy import MemoryModel, TSO
+from repro.model.expansion import NO_GROUP, AnalysisProgram, OpKind
+
+
+def verify_witness(
+    aprog: AnalysisProgram,
+    order: Sequence[int],
+    model: MemoryModel = TSO,
+) -> List[str]:
+    """Check a candidate total order against every axiom.
+
+    Args:
+        aprog: the expanded execution.
+        order: node ids in claimed global order (roots included).
+        model: which program-order pairs the model preserves.
+
+    Returns:
+        A list of human-readable violation messages; empty = the order
+        is a valid witness.
+    """
+    problems: List[str] = []
+    if sorted(order) != list(range(aprog.n)):
+        return [
+            f"order is not a permutation of all {aprog.n} operations "
+            "(Order axiom requires a total order)"
+        ]
+    position = {node: index for index, node in enumerate(order)}
+
+    problems.extend(_check_program_order(aprog, position, model))
+    problems.extend(_check_atomicity(aprog, order, position))
+    problems.extend(_check_value(aprog, order, position))
+    return problems
+
+
+def _check_program_order(
+    aprog: AnalysisProgram, position: Dict[int, int], model: MemoryModel
+) -> List[str]:
+    """LoadOp / StoreStore / Membar axioms, per preserved pair."""
+    problems = []
+    for stream in aprog.per_proc:
+        for i, earlier in enumerate(stream):
+            op1 = aprog.ops[earlier]
+            for later in stream[i + 1:]:
+                op2 = aprog.ops[later]
+                if not _pair_preserved(op1.kind, op2.kind, op1, op2, model):
+                    continue
+                if position[earlier] > position[later]:
+                    problems.append(
+                        f"{aprog.describe(earlier)} ; {aprog.describe(later)} "
+                        "in program order but reversed in the global order "
+                        f"({_pair_name(op1.kind, op2.kind)} axiom)"
+                    )
+    return problems
+
+
+def _pair_preserved(kind1, kind2, op1, op2, model: MemoryModel) -> bool:
+    if kind1 == OpKind.MEMBAR or kind2 == OpKind.MEMBAR:
+        return True  # Membar axiom orders everything across it; membars
+        # themselves act as ordering pivots in both directions.
+    if kind1 == OpKind.LOAD:
+        return model.load_load if kind2 == OpKind.LOAD else model.load_store
+    if kind2 == OpKind.STORE:
+        if model.store_store:
+            return True
+        return model.same_addr_store_store and op1.addr == op2.addr
+    return model.store_load
+
+
+def _pair_name(kind1, kind2) -> str:
+    if kind1 == OpKind.MEMBAR or kind2 == OpKind.MEMBAR:
+        return "Membar"
+    if kind1 == OpKind.LOAD:
+        return "LoadOp"
+    return "StoreStore" if kind2 == OpKind.STORE else "StoreLoad"
+
+
+def _check_atomicity(
+    aprog: AnalysisProgram, order: Sequence[int], position: Dict[int, int]
+) -> List[str]:
+    """No foreign store between an atomic group's first and last member."""
+    problems = []
+    for gid, members in aprog.groups.items():
+        first = min(position[m] for m in members)
+        last = max(position[m] for m in members)
+        member_set = set(members)
+        for slot in range(first + 1, last):
+            node = order[slot]
+            if node in member_set:
+                continue
+            if aprog.ops[node].is_store:
+                problems.append(
+                    f"{aprog.describe(node)} intervenes inside atomic group "
+                    f"{gid} (between {aprog.describe(members[0])} and "
+                    f"{aprog.describe(members[-1])}) — Atomicity axiom"
+                )
+    return problems
+
+
+def _check_value(
+    aprog: AnalysisProgram, order: Sequence[int], position: Dict[int, int]
+) -> List[str]:
+    """The Value axiom, computed exactly as written in Sec. 2."""
+    problems = []
+    # Program-order-earlier own stores per load, in program order.
+    own_stores: Dict[int, List[int]] = {}
+    for stream in aprog.per_proc:
+        last_store_to: Dict[int, List[int]] = {}
+        for op_id in stream:
+            op = aprog.ops[op_id]
+            if op.kind == OpKind.LOAD:
+                own_stores[op_id] = list(last_store_to.get(op.addr, ()))
+            elif op.kind == OpKind.STORE:
+                last_store_to.setdefault(op.addr, []).append(op_id)
+
+    for op in aprog.ops:
+        if not op.is_load:
+            continue
+        load_pos = position[op.id]
+        candidates = [
+            store
+            for store in aprog.stores_by_addr.get(op.addr, ())
+            if position[store] <= load_pos
+        ]
+        candidates.extend(own_stores.get(op.id, ()))
+        if not candidates:
+            problems.append(
+                f"{aprog.describe(op.id)}: no store in either Value-axiom "
+                "set (not even the root — malformed expansion?)"
+            )
+            continue
+        winner = max(candidates, key=lambda store: position[store])
+        expected = aprog.ops[winner].value
+        if op.value != expected:
+            problems.append(
+                f"{aprog.describe(op.id)} returned {op.value}, but the "
+                f"Value-axiom max is {aprog.describe(winner)} "
+                f"(expected {expected})"
+            )
+    return problems

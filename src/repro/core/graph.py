@@ -1,0 +1,172 @@
+"""The analysis constraint graph (Sec. 4).
+
+Nodes are word-sized memory operations; a directed edge ``u -> v`` records
+the inferred relation ``u <= v`` in the global memory order.  Since ``<=``
+is transitive, any *path* implies the relation; a *cycle* implies the
+relations cannot form a valid order — a memory-model violation.
+
+Atomic groups are modelled exactly as the paper describes: "incoming edges
+incident to any node in the set [are forced] to point to its first node;
+outgoing edges from any node in the set similarly leave from its last
+node."  :meth:`ConstraintGraph.add_edge` performs that redirection, except
+for edges internal to a single group (the ``L <= S`` chain of a swap).
+
+Every explicit edge carries an :class:`~repro.core.result.EdgeReason` so
+failures can be explained edge by edge (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.result import EdgeReason
+from repro.model.expansion import AnalysisProgram
+
+
+class CycleDetected(Exception):
+    """Raised internally when an added edge immediately closes a cycle.
+
+    Carries the offending edge; the checker turns it into a
+    :class:`~repro.core.result.Violation` with a full cycle witness.
+    """
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge {u}->{v} closes a cycle")
+        self.u = u
+        self.v = v
+
+
+class ConstraintGraph:
+    """Adjacency-list constraint graph with atomic-group redirection."""
+
+    def __init__(self, aprog: AnalysisProgram) -> None:
+        self.aprog = aprog
+        self.n = aprog.n
+        self.succ: List[List[int]] = [[] for _ in range(self.n)]
+        self.pred: List[List[int]] = [[] for _ in range(self.n)]
+        self._succ_sets: List[set] = [set() for _ in range(self.n)]
+        self.reasons: Dict[Tuple[int, int], EdgeReason] = {}
+        self.edge_count = 0
+
+    def redirect(self, u: int, v: int) -> Tuple[int, int]:
+        """Apply atomic-group redirection to a prospective edge ``u -> v``.
+
+        Returns the effective ``(source, destination)`` pair: outgoing
+        edges leave from the group's last node, incoming edges land on the
+        group's first node.  Edges within one group are left untouched.
+        """
+        aprog = self.aprog
+        gu = aprog.ops[u].group
+        gv = aprog.ops[v].group
+        if gu != -1 and gu == gv:
+            return u, v
+        return aprog.group_last(u), aprog.group_first(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the explicit (non-transitive) edge ``u -> v`` exists."""
+        return v in self._succ_sets[u]
+
+    def add_edge(self, u: int, v: int, reason: EdgeReason) -> bool:
+        """Add ``u -> v`` (after redirection); return True if it is new.
+
+        Raises:
+            CycleDetected: if the redirected edge is a self-loop, which is
+                an immediate one-node cycle.
+        """
+        u, v = self.redirect(u, v)
+        if u == v:
+            raise CycleDetected(u, v)
+        if v in self._succ_sets[u]:
+            return False
+        self._succ_sets[u].add(v)
+        self.succ[u].append(v)
+        self.pred[v].append(u)
+        self.reasons[(u, v)] = reason
+        self.edge_count += 1
+        return True
+
+    def reason_of(self, u: int, v: int) -> EdgeReason:
+        """The reason recorded for explicit edge ``u -> v``."""
+        return self.reasons[(u, v)]
+
+    # ------------------------------------------------------------------
+    # Cycle detection / witness extraction
+    # ------------------------------------------------------------------
+
+    def find_cycle(self) -> Optional[List[int]]:
+        """Find any cycle; return its node sequence or ``None`` if acyclic.
+
+        Iterative three-colour DFS (white/grey/black); a back edge to a
+        grey node closes a cycle, which is read off the DFS stack.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = [WHITE] * self.n
+        for start in range(self.n):
+            if color[start] != WHITE:
+                continue
+            # stack holds (node, iterator position)
+            stack: List[Tuple[int, int]] = [(start, 0)]
+            color[start] = GREY
+            path = [start]
+            while stack:
+                node, idx = stack[-1]
+                if idx < len(self.succ[node]):
+                    stack[-1] = (node, idx + 1)
+                    child = self.succ[node][idx]
+                    if color[child] == GREY:
+                        at = path.index(child)
+                        return path[at:]
+                    if color[child] == WHITE:
+                        color[child] = GREY
+                        stack.append((child, 0))
+                        path.append(child)
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+                    path.pop()
+        return None
+
+    def shortest_path(self, src: int, dst: int) -> Optional[List[int]]:
+        """BFS shortest path from ``src`` to ``dst`` over explicit edges."""
+        if src == dst:
+            return [src]
+        parent = {src: -1}
+        frontier = [src]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for child in self.succ[node]:
+                    if child in parent:
+                        continue
+                    parent[child] = node
+                    if child == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(parent[path[-1]])
+                        path.reverse()
+                        return path
+                    nxt.append(child)
+            frontier = nxt
+        return None
+
+    def cycle_through_edge(self, u: int, v: int) -> List[int]:
+        """A cycle witness containing edge ``u -> v`` (which closes it).
+
+        Used when an engine detects, while adding ``u -> v``, that ``u``
+        was already reachable from ``v``: the witness is the explicit path
+        ``v ~> u`` plus the new edge.
+        """
+        if u == v:
+            return [u]
+        path = self.shortest_path(v, u)
+        if path is None:
+            raise ValueError(f"no path {v} ~> {u}; edge {u}->{v} closes no cycle")
+        return path
+
+    def cycle_reasons(self, cycle: List[int]) -> List[EdgeReason]:
+        """Per-edge reasons around a cycle (``cycle[i] -> cycle[i+1]``)."""
+        out = []
+        for i, node in enumerate(cycle):
+            nxt = cycle[(i + 1) % len(cycle)]
+            out.append(self.reasons.get((node, nxt), EdgeReason("?", "edge of cycle")))
+        return out

@@ -1,0 +1,240 @@
+"""A numpy bit-matrix checker engine.
+
+Third implementation of the Fig. 2 rules, alongside the traversal
+baseline and the Python-int bitset closure engine: reachability is held
+as a dense ``(n, ceil(n/64))`` uint64 matrix — row ``v`` of ``reach_from``
+is the descendant set of ``v`` packed 64 nodes per word — and closure
+rebuilds vectorize the per-node OR over numpy words.
+
+Why keep three engines?  They answer different questions:
+
+* the baseline is the literal paper algorithm (and measures traversal
+  behaviour, Fig. 9);
+* the int-bitset engine is the fastest at laptop scale (Python ints do
+  word-wise OR in C with almost no per-call overhead);
+* this engine demonstrates the dense-matrix formulation (the natural
+  port to a vectorized runtime) and serves as a third independent
+  implementation for the engine-agreement property tests —
+  disagreement between any two engines localizes a bug immediately.
+
+Verdicts are identical to the other engines by construction and by
+``tests/test_properties.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.checker import observed_edges, precheck_violation
+from repro.core.closure import topological_order
+from repro.core.graph import ConstraintGraph, CycleDetected
+from repro.core.policy import MemoryModel, TSO, static_edges
+from repro.core.result import (
+    CheckResult,
+    CheckStats,
+    EdgeReason,
+    Violation,
+    ViolationKind,
+)
+from repro.model.expansion import AnalysisProgram
+
+
+def _words_for(n: int) -> int:
+    return (n + 63) // 64
+
+
+def _bit(matrix: np.ndarray, row: int, col: int) -> bool:
+    return bool((int(matrix[row, col >> 6]) >> (col & 63)) & 1)
+
+
+def _set_bit(matrix: np.ndarray, row: int, col: int) -> None:
+    matrix[row, col >> 6] |= np.uint64(1 << (col & 63))
+
+
+def _row_members(matrix: np.ndarray, row: int, n: int) -> List[int]:
+    """Indices of set bits in a packed row."""
+    out: List[int] = []
+    for word_index in np.flatnonzero(matrix[row]):
+        word = int(matrix[row, word_index])
+        base = int(word_index) << 6
+        while word:
+            low = word & -word
+            out.append(base + low.bit_length() - 1)
+            word ^= low
+    return out
+
+
+class MatrixChecker:
+    """Fig. 2 with numpy packed-bit reachability matrices."""
+
+    name = "matrix"
+
+    def __init__(self, model: MemoryModel = TSO) -> None:
+        self.model = model
+
+    def run(self, aprog: AnalysisProgram) -> CheckResult:
+        """Check one analysis program; return the verdict with a witness."""
+        start = time.perf_counter()
+        stats = CheckStats(nodes=aprog.n)
+        self._graph: Optional[ConstraintGraph] = None
+
+        violation = precheck_violation(aprog)
+        if violation is None:
+            violation = self._analyze(aprog, stats)
+
+        stats.seconds = time.perf_counter() - start
+        return CheckResult(
+            ok=violation is None,
+            model_name=self.model.name,
+            engine=self.name,
+            violation=violation,
+            stats=stats,
+            aprog=aprog,
+            graph=self._graph,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _analyze(
+        self, aprog: AnalysisProgram, stats: CheckStats
+    ) -> Optional[Violation]:
+        n = aprog.n
+        nwords = _words_for(n)
+        graph = ConstraintGraph(aprog)
+        self._graph = graph
+
+        try:
+            for u, v, rule in static_edges(aprog, self.model):
+                if graph.add_edge(u, v, EdgeReason(rule, "program order")):
+                    stats.static_edges += 1
+            for u, v, reason, _rule in observed_edges(aprog):
+                if graph.add_edge(u, v, reason):
+                    stats.observed_edges += 1
+        except CycleDetected as exc:
+            return self._violation(aprog, graph, exc)
+
+        stores_at = np.zeros((0,), dtype=np.uint64)
+        stores_rows: Dict[int, np.ndarray] = {}
+        for addr, stores in aprog.stores_by_addr.items():
+            row = np.zeros(nwords, dtype=np.uint64)
+            for store in stores:
+                row[store >> 6] |= np.uint64(1 << (store & 63))
+            stores_rows[addr] = row
+
+        readers = aprog.readers()
+        loads = []
+        for op in aprog.ops:
+            if not op.is_load:
+                continue
+            target = aprog.map_value(op.addr, op.value)
+            if target is None:
+                continue  # unreachable: precheck rejects unmapped loads
+            loads.append((op.id, op.addr, target, aprog.group_first(target)))
+        stores = [
+            (op.id, op.addr, [(ld, aprog.group_last(ld)) for ld in readers[op.id]])
+            for op in aprog.ops
+            if op.is_store and op.id in readers
+        ]
+        group_first = [aprog.group_first(i) for i in range(n)]
+
+        while True:
+            order = topological_order(graph)
+            if order is None:
+                return self._found_cycle(aprog, graph)
+            reach_from, reach_to = self._compute_closure(graph, order, n, nwords)
+
+            stats.iterations += 1
+            added = 0
+            try:
+                for load, addr, target, target_first in loads:
+                    mask = reach_to[load] & stores_rows[addr] & ~reach_to[target_first]
+                    candidates = self._members(mask)
+                    for s_prime in candidates:
+                        if s_prime == target:
+                            continue
+                        reason = EdgeReason(
+                            "R6",
+                            f"store n{s_prime} precedes load n{load}, which "
+                            f"observed store n{target} (Value axiom)",
+                        )
+                        if graph.add_edge(s_prime, target, reason):
+                            added += 1
+                for store, addr, observers in stores:
+                    mask = reach_from[store] & stores_rows[addr]
+                    for s_prime in self._members(mask):
+                        if s_prime == store:
+                            continue
+                        s_prime_first = group_first[s_prime]
+                        for load, load_last in observers:
+                            if _bit(reach_from, load_last, s_prime_first):
+                                continue  # redirected edge already implied
+                            reason = EdgeReason(
+                                "R7",
+                                f"load n{load} observed store n{store}, which "
+                                f"precedes store n{s_prime} (Value axiom)",
+                            )
+                            if graph.add_edge(load, s_prime, reason):
+                                added += 1
+            except CycleDetected as exc:
+                return self._violation(aprog, graph, exc)
+            if not added:
+                return None
+            stats.inferred_edges += added
+
+    @staticmethod
+    def _compute_closure(graph, order, n, nwords):
+        reach_from = np.zeros((n, nwords), dtype=np.uint64)
+        reach_to = np.zeros((n, nwords), dtype=np.uint64)
+        for node in reversed(order):
+            row = reach_from[node]
+            _set_bit(reach_from, node, node)
+            for child in graph.succ[node]:
+                np.bitwise_or(row, reach_from[child], out=row)
+        for node in order:
+            row = reach_to[node]
+            _set_bit(reach_to, node, node)
+            for parent in graph.pred[node]:
+                np.bitwise_or(row, reach_to[parent], out=row)
+        return reach_from, reach_to
+
+    @staticmethod
+    def _members(mask: np.ndarray) -> List[int]:
+        out: List[int] = []
+        for word_index in np.flatnonzero(mask):
+            word = int(mask[word_index])
+            base = int(word_index) << 6
+            while word:
+                low = word & -word
+                out.append(base + low.bit_length() - 1)
+                word ^= low
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _found_cycle(self, aprog, graph) -> Violation:
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        return self._cycle_violation(aprog, graph, cycle)
+
+    def _violation(self, aprog, graph, exc: CycleDetected) -> Violation:
+        if exc.u == exc.v:
+            cycle = [exc.u]
+        else:
+            cycle = graph.cycle_through_edge(exc.u, exc.v)
+        return self._cycle_violation(aprog, graph, cycle)
+
+    def _cycle_violation(self, aprog, graph, cycle: List[int]) -> Violation:
+        return Violation(
+            kind=ViolationKind.CYCLE,
+            message=(
+                f"the inferred global memory order contains a cycle of "
+                f"{len(cycle)} operation(s): "
+                + " <= ".join(aprog.describe(node) for node in cycle)
+                + f" <= {aprog.describe(cycle[0])}"
+            ),
+            cycle=cycle,
+            reasons=graph.cycle_reasons(cycle),
+        )

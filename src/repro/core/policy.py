@@ -1,0 +1,161 @@
+"""Memory-model ordering policies and static (program-order) edges.
+
+A :class:`MemoryModel` captures which program-order pairs must also hold
+in the global memory order ``<=`` — the information behind the paper's
+static rules R1–R3 (Sec. 4):
+
+* R1 (LoadOp axiom):      ``L ; Op  =>  L <= Op``
+* R2 (StoreStore axiom):  ``S ; S'  =>  S <= S'``
+* R3 (Membar axiom):      ``Op1 ; M ; Op2  =>  Op1 <= Op2``
+
+TSO relaxes only store→load; SC relaxes nothing; PSO additionally relaxes
+store→store (the paper notes in Sec. 4 that "the only difference lies in
+the initial set of edges determined from program order and the
+application of the remaining rules remains the same" — this module is
+that difference).
+
+:func:`static_edges` walks each processor's op stream once, emitting edges
+from the *latest* op of each kind, which suffices because transitivity
+chains earlier same-kind ops through the latest one whenever same-kind
+pairs are themselves ordered.  The one case where they are not — stores
+under PSO — is handled by remembering every store since the last barrier
+and draining the whole set into the barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.model.expansion import NO_GROUP, AnalysisProgram, OpKind
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Which same-processor program-order pairs imply global order.
+
+    Attributes:
+        name: display name.
+        load_load: ``L ; L'`` implies ``L <= L'``.
+        load_store: ``L ; S`` implies ``L <= S``.
+        store_store: ``S ; S'`` implies ``S <= S'``.
+        store_load: ``S ; L`` implies ``S <= L`` (SC only).
+        same_addr_store_store: same-address stores keep program order
+            even when ``store_store`` is relaxed — true for SPARC PSO,
+            whose relaxation never breaks per-location coherence.
+    """
+
+    name: str
+    load_load: bool
+    load_store: bool
+    store_store: bool
+    store_load: bool
+    same_addr_store_store: bool = True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Total Store Order: loads may overtake stores, nothing else reorders.
+TSO = MemoryModel("TSO", load_load=True, load_store=True, store_store=True,
+                  store_load=False)
+
+#: Sequential Consistency: full program order is preserved.
+SC = MemoryModel("SC", load_load=True, load_store=True, store_store=True,
+                 store_load=True)
+
+#: Partial Store Order: like TSO but stores may also reorder among themselves.
+PSO = MemoryModel("PSO", load_load=True, load_store=True, store_store=False,
+                  store_load=False)
+
+#: Edge reasons for static edges, keyed by (pred kind, succ kind).
+_RULE_NAMES = {
+    (OpKind.LOAD, OpKind.LOAD): "R1",
+    (OpKind.LOAD, OpKind.STORE): "R1",
+    (OpKind.LOAD, OpKind.MEMBAR): "R1",
+    (OpKind.STORE, OpKind.STORE): "R2",
+    (OpKind.STORE, OpKind.LOAD): "R2",   # SC-only store->load program order
+    (OpKind.STORE, OpKind.MEMBAR): "R3",
+    (OpKind.MEMBAR, OpKind.LOAD): "R3",
+    (OpKind.MEMBAR, OpKind.STORE): "R3",
+    (OpKind.MEMBAR, OpKind.MEMBAR): "R3",
+}
+
+StaticEdge = Tuple[int, int, str]
+
+
+def static_edges(aprog: AnalysisProgram, model: MemoryModel) -> Iterator[StaticEdge]:
+    """Yield all static edges ``(src, dst, rule)`` required by ``model``.
+
+    Includes, in addition to the R1–R3 program-order edges:
+
+    * atomic-group internal chains (the load half of a swap precedes its
+      store half — the Atomicity axiom's ``L <= S``),
+    * initial-value edges: the synthetic root store of every address
+      precedes every real store to that address.
+    """
+    yield from _program_order_edges(aprog, model)
+    yield from _group_chain_edges(aprog)
+    yield from _root_edges(aprog)
+
+
+def _program_order_edges(
+    aprog: AnalysisProgram, model: MemoryModel
+) -> Iterator[StaticEdge]:
+    for stream in aprog.per_proc:
+        last_load = last_store = last_membar = None
+        unordered_stores = []  # only populated when store_store is relaxed
+        last_store_to_addr = {}  # ditto: per-location coherence edges
+        for op_id in stream:
+            op = aprog.ops[op_id]
+            kind = op.kind
+            if kind == OpKind.LOAD:
+                if model.load_load and last_load is not None:
+                    yield last_load, op_id, _RULE_NAMES[(OpKind.LOAD, kind)]
+                if model.store_load and last_store is not None:
+                    yield last_store, op_id, _RULE_NAMES[(OpKind.STORE, kind)]
+                if last_membar is not None:
+                    yield last_membar, op_id, _RULE_NAMES[(OpKind.MEMBAR, kind)]
+                last_load = op_id
+            elif kind == OpKind.STORE:
+                if model.load_store and last_load is not None:
+                    yield last_load, op_id, _RULE_NAMES[(OpKind.LOAD, kind)]
+                if model.store_store and last_store is not None:
+                    yield last_store, op_id, _RULE_NAMES[(OpKind.STORE, kind)]
+                if last_membar is not None:
+                    yield last_membar, op_id, _RULE_NAMES[(OpKind.MEMBAR, kind)]
+                if not model.store_store:
+                    unordered_stores.append(op_id)
+                    if model.same_addr_store_store:
+                        prev_same = last_store_to_addr.get(op.addr)
+                        if prev_same is not None:
+                            yield prev_same, op_id, "R2"
+                        last_store_to_addr[op.addr] = op_id
+                last_store = op_id
+            else:  # MEMBAR orders everything before it against everything after
+                if last_load is not None:
+                    yield last_load, op_id, "R3"
+                if model.store_store:
+                    if last_store is not None:
+                        yield last_store, op_id, "R3"
+                else:
+                    for store in unordered_stores:
+                        yield store, op_id, "R3"
+                    unordered_stores.clear()
+                if last_membar is not None:
+                    yield last_membar, op_id, "R3"
+                last_membar = op_id
+
+
+def _group_chain_edges(aprog: AnalysisProgram) -> Iterator[StaticEdge]:
+    for members in aprog.groups.values():
+        for prev, nxt in zip(members, members[1:]):
+            yield prev, nxt, "atomic"
+
+
+def _root_edges(aprog: AnalysisProgram) -> Iterator[StaticEdge]:
+    for addr, stores in aprog.stores_by_addr.items():
+        root = aprog.roots[addr]
+        for store in stores:
+            if store != root:
+                yield root, store, "init"

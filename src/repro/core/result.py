@@ -1,0 +1,230 @@
+"""Check results, violation witnesses, and debug rendering (Sec. 3.4).
+
+When TSOtool detects a violation it "emits a graphical representation of
+the relevant area in the analysis graph" where "the user can click on each
+edge ... to understand the reason for its existence".  This module is the
+reproduction of that debug story: every edge carries an
+:class:`EdgeReason` (which rule added it and why), a :class:`Violation`
+carries the offending cycle with those reasons, and :meth:`CheckResult.explain`
+renders the full chain of inference as text.  :meth:`CheckResult.to_dot`
+emits Graphviz DOT for the graphical view.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.expansion import AnalysisProgram
+
+
+@dataclass(frozen=True)
+class EdgeReason:
+    """Why an edge exists in the analysis graph.
+
+    Attributes:
+        rule: the rule id: ``R1``–``R7`` from Fig. 2, plus ``atomic``
+            (intra-group chain), ``init`` (root-store edges).
+        detail: human-readable justification, e.g. which load's value
+            binding forced the edge.
+    """
+
+    rule: str
+    detail: str = ""
+
+    def render(self) -> str:
+        """One-line rendering: ``R5: <detail>``."""
+        return f"{self.rule}: {self.detail}" if self.detail else self.rule
+
+
+class ViolationKind(enum.Enum):
+    """How the check failed."""
+
+    #: A cycle in the inferred global order — the paper's TSO violation.
+    CYCLE = "cycle"
+    #: A load observed a value never written to its address (Sec. 4: "a
+    #: load reading a value never written ... signaled as a failure at the
+    #: outset").
+    UNMAPPED_VALUE = "unmapped-value"
+    #: A non-faulting load to a faulting address returned nonzero (Sec. 3.3).
+    PRECHECK = "precheck"
+
+
+@dataclass
+class Violation:
+    """A memory-model violation witness.
+
+    For ``CYCLE`` violations, ``cycle`` holds the node ids of the cycle in
+    order (the edge ``cycle[i] -> cycle[i+1]`` exists, wrapping around)
+    and ``reasons`` the per-edge justification.
+    """
+
+    kind: ViolationKind
+    message: str
+    cycle: List[int] = field(default_factory=list)
+    reasons: List[EdgeReason] = field(default_factory=list)
+
+
+@dataclass
+class CheckStats:
+    """Bookkeeping about one analysis run (feeds the Fig. 8/9 harness)."""
+
+    nodes: int = 0
+    static_edges: int = 0
+    observed_edges: int = 0
+    inferred_edges: int = 0
+    iterations: int = 0
+    seconds: float = 0.0
+    #: Traversal-engine only: number of R6/R7 subgraph traversals and the
+    #: total nodes they visited — the quantity the paper's Fig. 9
+    #: explanation is about ("a larger number of nodes to be visited
+    #: during the traversal of predecessor/successor subgraphs").
+    traversals: int = 0
+    traversal_visits: int = 0
+
+    @property
+    def edges(self) -> int:
+        """Total explicit edges added to the graph."""
+        return self.static_edges + self.observed_edges + self.inferred_edges
+
+
+@dataclass
+class CheckResult:
+    """The outcome of checking one execution against a memory model.
+
+    Attributes:
+        ok: True iff no violation was detected.  The algorithm is sound
+            but incomplete (Sec. 4): ``ok=False`` proves a violation;
+            ``ok=True`` does not prove compliance.
+        model_name: the memory model the execution was checked against.
+        engine: the checker engine used (``baseline`` or ``closure``).
+        violation: the witness, when ``ok`` is False.
+        stats: analysis-size and runtime bookkeeping.
+        aprog: the analysis program, retained for rendering.
+        graph: the final constraint graph (a
+            :class:`repro.core.graph.ConstraintGraph`), retained for the
+            Sec. 3.4 debug artifacts — the full-graph text dump and DOT.
+    """
+
+    ok: bool
+    model_name: str
+    engine: str
+    violation: Optional[Violation] = None
+    stats: CheckStats = field(default_factory=CheckStats)
+    aprog: Optional[AnalysisProgram] = None
+    graph: Optional[object] = None
+
+    def explain(self) -> str:
+        """Render the verdict — and for failures, the chain of reasoning.
+
+        For a cycle, prints each node and the rule that created each edge,
+        the textual equivalent of the paper's clickable edge view.
+        """
+        header = (
+            f"{self.model_name} check: {'PASS' if self.ok else 'FAIL'} "
+            f"({self.stats.nodes} nodes, {self.stats.edges} edges, "
+            f"{self.stats.iterations} iterations, engine={self.engine})"
+        )
+        if self.ok or self.violation is None:
+            return header
+        lines = [header, f"violation: {self.violation.message}"]
+        if self.violation.kind == ViolationKind.CYCLE and self.aprog is not None:
+            cycle = self.violation.cycle
+            reasons = self.violation.reasons
+            lines.append("cycle in the inferred global memory order:")
+            for i, node in enumerate(cycle):
+                nxt = cycle[(i + 1) % len(cycle)]
+                reason = reasons[i].render() if i < len(reasons) else "?"
+                lines.append(
+                    f"  {self.aprog.describe(node)}  <=  "
+                    f"{self.aprog.describe(nxt)}    [{reason}]"
+                )
+        return "\n".join(lines)
+
+    def dump_graph(self) -> str:
+        """Emit the whole analysis graph as text (Sec. 3.4).
+
+        "TSOtool also emits the analysis graph to a text file in a
+        format comprehensible to users."  One line per node and per
+        explicit edge, each edge annotated with the rule that created it
+        and its justification; the violation cycle, if any, is listed at
+        the end.
+        """
+        if self.aprog is None or self.graph is None:
+            raise ValueError("result has no analysis graph attached")
+        lines = [
+            f"# tsotool analysis graph: model={self.model_name} "
+            f"engine={self.engine} verdict={'PASS' if self.ok else 'FAIL'}",
+            f"# {self.stats.nodes} nodes, {self.stats.edges} explicit edges",
+        ]
+        for op in self.aprog.ops:
+            lines.append(f"node {op.id:<6d} {self.aprog.describe(op.id)}")
+        for (u, v), reason in sorted(self.graph.reasons.items()):
+            lines.append(f"edge {u} -> {v}  [{reason.render()}]")
+        if self.violation is not None and self.violation.cycle:
+            lines.append(
+                "cycle " + " ".join(str(n) for n in self.violation.cycle)
+            )
+        return "\n".join(lines) + "\n"
+
+    def to_dot(
+        self,
+        edges: Optional[Dict[Tuple[int, int], EdgeReason]] = None,
+        focus_only: bool = True,
+    ) -> str:
+        """Emit Graphviz DOT of the analysis graph region around the failure.
+
+        Args:
+            edges: the explicit edge map from the checker engine; when
+                omitted, only the violation cycle is drawn.
+            focus_only: when a cycle exists, restrict to nodes within the
+                cycle plus their direct neighbours (the paper's "relevant
+                area in the analysis graph").
+        """
+        if self.aprog is None:
+            raise ValueError("result has no analysis program attached")
+        cycle_nodes = set(self.violation.cycle) if self.violation else set()
+        cycle_edges = set()
+        if self.violation and self.violation.kind == ViolationKind.CYCLE:
+            seq = self.violation.cycle
+            cycle_edges = {
+                (seq[i], seq[(i + 1) % len(seq)]) for i in range(len(seq))
+            }
+
+        draw_edges: Dict[Tuple[int, int], EdgeReason] = {}
+        if edges:
+            draw_edges.update(edges)
+        if self.violation:
+            seq = self.violation.cycle
+            for i in range(len(seq)):
+                key = (seq[i], seq[(i + 1) % len(seq)])
+                reason = (
+                    self.violation.reasons[i]
+                    if i < len(self.violation.reasons)
+                    else EdgeReason("?")
+                )
+                draw_edges.setdefault(key, reason)
+
+        nodes = set()
+        if focus_only and cycle_nodes:
+            for (u, v) in draw_edges:
+                if u in cycle_nodes or v in cycle_nodes:
+                    nodes.add(u)
+                    nodes.add(v)
+        else:
+            for (u, v) in draw_edges:
+                nodes.update((u, v))
+
+        lines = ["digraph tsotool {", "  rankdir=TB;", '  node [shape=box, fontname="monospace"];']
+        for node in sorted(nodes):
+            label = self.aprog.describe(node).replace('"', "'")
+            style = ', color=red, penwidth=2' if node in cycle_nodes else ""
+            lines.append(f'  n{node} [label="{label}"{style}];')
+        for (u, v), reason in sorted(draw_edges.items()):
+            if u not in nodes or v not in nodes:
+                continue
+            style = ", color=red, penwidth=2" if (u, v) in cycle_edges else ""
+            lines.append(f'  n{u} -> n{v} [label="{reason.rule}"{style}];')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,332 @@
+"""SPARC V9 assembly emission for generated test programs.
+
+Produces one assembler routine per thread, following the run-time
+conventions Sec. 3.1 describes:
+
+* **Unique store values** — "two running counters, one each in a
+  floating point register and an integer register ... used as the source
+  of store values".  Scalar stores draw from the integer counter
+  (``%l0``, stepped by ``%l1``); block stores draw from the floating-
+  point counter (``%f2``, stepped by ``%f4``), since VIS block stores
+  move floating-point registers.
+* **Load observability** — "code to observe and save the results of all
+  the load operations ... buffered in two sets of processor registers
+  ... When a results buffer is full, its contents are flushed to
+  memory."  Load results rotate through ``%o0``–``%o5``; a six-entry
+  flush writes them to the per-thread results area.
+* **Branch randomization** — "a dynamic software LFSR is maintained on
+  each processor": ``%l6`` holds the LFSR state and unpredictable
+  branches test its low bit after a Galois step.
+
+Register conventions (documented in the emitted header):
+
+========  =====================================================
+``%i0``   base address of the shared-memory region
+``%i1``   base address of this thread's results area
+``%l0``   integer unique-value counter; ``%l1`` its stride
+``%l6``   software LFSR state; ``%l7`` scratch
+``%o0-5`` load-result buffer; ``%o7`` flush cursor
+``%g1``   scratch (addresses, CAS compare values)
+``%f0-62``  floating-point counter and block-transfer registers
+========  =====================================================
+
+Emission is text-only: this reproduction has no SPARC hardware to
+assemble for, but the backend keeps the generator's artifacts usable in
+an environment that does, and it is exercised structurally by
+``tests/emit/test_sparc.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.model.ops import (
+    WORD_SIZE,
+    IBlockLoad,
+    IBlockStore,
+    IBranch,
+    ICas,
+    IFlushCache,
+    IFlushPipe,
+    IInterrupt,
+    ILoad,
+    IMembar,
+    INonFaultingLoad,
+    IPrefetch,
+    IStore,
+    ISwap,
+    Instr,
+    PrefetchVariant,
+)
+from repro.model.program import Program
+
+#: How many load results are buffered in registers before a flush.
+RESULT_BUFFER_SLOTS = 6
+
+#: Prefetch function codes (SPARC V9 ``prefetch [addr], #n``).
+_PREFETCH_FCN = {
+    (PrefetchVariant.READ_ONCE, False): 0,
+    (PrefetchVariant.READ_MANY, False): 1,
+    (PrefetchVariant.READ_ONCE, True): 20,
+    (PrefetchVariant.READ_MANY, True): 21,
+    (PrefetchVariant.WRITE_ONCE, False): 2,
+    (PrefetchVariant.WRITE_MANY, False): 3,
+    (PrefetchVariant.WRITE_ONCE, True): 22,
+    (PrefetchVariant.WRITE_MANY, True): 23,
+}
+
+_LOAD_OPCODE = {4: "lduw", 8: "ldx", 16: "ldq"}
+_STORE_OPCODE = {4: "stw", 8: "stx", 16: "stq"}
+
+
+@dataclass(frozen=True)
+class EmitConfig:
+    """Knobs for the assembler backend.
+
+    Attributes:
+        value_stride: increment between unique store values (the low
+            bits encode the CPU id at run time, mirroring
+            :meth:`repro.sim.cpu.Cpu.next_value`).
+        lfsr_taps: Galois feedback mask for the branch LFSR.
+        comment_ops: annotate every emitted instruction with its source
+            operation (useful for debug; off for dense output).
+    """
+
+    value_stride: int = 256
+    lfsr_taps: int = 0x80200003
+    comment_ops: bool = True
+
+
+class _ThreadEmitter:
+    """Emits one thread's routine."""
+
+    def __init__(self, pid: int, program: Program, config: EmitConfig) -> None:
+        self.pid = pid
+        self.program = program
+        self.config = config
+        self.lines: List[str] = []
+        self._pending_results = 0
+        self._flushed_results = 0
+        self._label_serial = 0
+
+    # -- helpers --------------------------------------------------------
+
+    def _op(self, text: str, comment: str = "") -> None:
+        if comment and self.config.comment_ops:
+            self.lines.append(f"\t{text:<40s}! {comment}")
+        else:
+            self.lines.append(f"\t{text}")
+
+    def _label(self, stem: str) -> str:
+        self._label_serial += 1
+        return f".L{self.pid}_{stem}_{self._label_serial}"
+
+    def _addr(self, byte_addr: int) -> str:
+        return f"[%i0 + {byte_addr}]"
+
+    def _bump_int_counter(self) -> None:
+        self._op("add     %l0, %l1, %l0", "next unique store value")
+
+    def _result_reg(self) -> str:
+        reg = f"%o{self._pending_results}"
+        self._pending_results += 1
+        return reg
+
+    def _flush_results_if_full(self) -> None:
+        if self._pending_results < RESULT_BUFFER_SLOTS:
+            return
+        self._op("! -- results buffer full: flush to memory --")
+        for slot in range(self._pending_results):
+            offset = (self._flushed_results + slot) * 8
+            self._op(f"stx     %o{slot}, [%i1 + {offset}]",
+                     f"save load result {self._flushed_results + slot}")
+        self._flushed_results += self._pending_results
+        self._pending_results = 0
+
+    def _record_result(self, src_reg: str) -> None:
+        reg = self._result_reg()
+        if reg != src_reg:
+            self._op(f"mov     {src_reg}, {reg}", "buffer load result")
+        self._flush_results_if_full()
+
+    # -- instruction emission -------------------------------------------
+
+    def emit(self) -> List[str]:
+        self.lines.append(f"tsotool_thread_{self.pid}:")
+        self._op("save    %sp, -192, %sp")
+        self._op(f"set     {1 + self.pid}, %l0", "integer value counter seed")
+        self._op(f"set     {self.config.value_stride}, %l1", "value stride")
+        self._op(f"set     0x{0xDEADBEEF ^ (self.pid * 0x9E37):x}, %l6",
+                 "software LFSR seed")
+        for index, instr in enumerate(self.program.threads[self.pid]):
+            self.lines.append(f".L{self.pid}_op{index}:")
+            self._emit_instr(index, instr)
+        self._final_flush()
+        self._op("ret")
+        self._op("restore")
+        return self.lines
+
+    def _final_flush(self) -> None:
+        if self._pending_results:
+            self._op("! -- final results flush --")
+            for slot in range(self._pending_results):
+                offset = (self._flushed_results + slot) * 8
+                self._op(f"stx     %o{slot}, [%i1 + {offset}]")
+            self._flushed_results += self._pending_results
+            self._pending_results = 0
+
+    def _emit_instr(self, index: int, instr: Instr) -> None:
+        if isinstance(instr, INonFaultingLoad):
+            self._op(
+                f"{_LOAD_OPCODE[instr.size]}a {self._addr(instr.addr)} "
+                "%asi_pnf, %g1",
+                f"non-faulting load ({'faulting' if instr.faulting else 'valid'} page)",
+            )
+            self._record_result("%g1")
+            return
+        if isinstance(instr, ILoad):
+            if instr.cacheable:
+                self._op(
+                    f"{_LOAD_OPCODE[instr.size]}    {self._addr(instr.addr)}, %g1",
+                    instr.mnemonic(),
+                )
+            else:
+                self._op(
+                    f"{_LOAD_OPCODE[instr.size]}a   {self._addr(instr.addr)} "
+                    "#ASI_REAL_IO, %g1",
+                    instr.mnemonic(),
+                )
+            self._record_result("%g1")
+            return
+        if isinstance(instr, IStore):
+            for word in range(instr.words()):
+                self._bump_int_counter()
+                if word == 0 and instr.words() == 1:
+                    if instr.cacheable:
+                        self._op(
+                            f"{_STORE_OPCODE[instr.size]}     %l0, {self._addr(instr.addr)}",
+                            instr.mnemonic(),
+                        )
+                    else:
+                        self._op(
+                            f"{_STORE_OPCODE[instr.size]}a    %l0, "
+                            f"{self._addr(instr.addr)} #ASI_REAL_IO",
+                            instr.mnemonic(),
+                        )
+                else:
+                    self._op(
+                        f"stw     %l0, {self._addr(instr.addr + word * WORD_SIZE)}",
+                        f"{instr.mnemonic()} word {word}",
+                    )
+            return
+        if isinstance(instr, ISwap):
+            self._bump_int_counter()
+            self._op(f"mov     %l0, %g1", "swap write value")
+            self._op(f"swap    {self._addr(instr.addr)}, %g1", instr.mnemonic())
+            self._record_result("%g1")
+            return
+        if isinstance(instr, ICas):
+            # The compare value is the result of the companion load,
+            # still live in the newest result register (the generator
+            # emits the load immediately before the CAS).
+            self._bump_int_counter()
+            self._op("mov     %l0, %g1", "CAS new value")
+            width = "casa" if instr.size == 4 else "casxa"
+            self._op(
+                f"{width}    {self._addr(instr.addr)}, %g2, %g1",
+                f"{instr.mnemonic()} (compare in %g2 from companion load)",
+            )
+            self._record_result("%g1")
+            return
+        if isinstance(instr, IMembar):
+            self._op("membar  #Sync", "full memory barrier")
+            return
+        if isinstance(instr, IBlockStore):
+            self._op("fmovd   %f2, %f32", "stage fp unique values")
+            for i in range(1, 8):
+                self._op(f"faddd   %f2, %f4, %f2")
+                self._op(f"fmovd   %f2, %f{32 + 2 * i}")
+            self._op(f"faddd   %f2, %f4, %f2", "advance fp counter")
+            self._op(
+                f"stda    %f32, {self._addr(instr.addr)} #ASI_BLK_P",
+                instr.mnemonic(),
+            )
+            return
+        if isinstance(instr, IBlockLoad):
+            self._op(
+                f"ldda    {self._addr(instr.addr)} #ASI_BLK_P, %f32",
+                instr.mnemonic(),
+            )
+            self._op("membar  #Sync", "block-load completion")
+            for i in range(2):
+                self._op(f"std     %f{32 + 8 * i}, [%i1 + {self._flushed_results * 8}]",
+                         "spill sampled block data")
+            return
+        if isinstance(instr, IPrefetch):
+            fcn = _PREFETCH_FCN[(instr.variant, instr.strong)]
+            self._op(f"prefetch {self._addr(instr.addr)}, #{fcn}",
+                     instr.mnemonic())
+            return
+        if isinstance(instr, IFlushCache):
+            self._op(f"add     %i0, {instr.addr}, %g1")
+            self._op("flush   %g1", instr.mnemonic())
+            return
+        if isinstance(instr, IFlushPipe):
+            self._op("flushw", instr.mnemonic())
+            return
+        if isinstance(instr, IInterrupt):
+            self._op(f"set     {instr.target}, %g1", "cross-call target CPU")
+            self._op("call    tsotool_send_ipi", instr.mnemonic())
+            self._op("nop")
+            return
+        if isinstance(instr, IBranch):
+            target = f".L{self.pid}_op{index + instr.skip + 1}"
+            self._emit_lfsr_step()
+            self._op("andcc   %l6, 1, %g0", "test LFSR output bit")
+            self._op(f"bne,pn  %icc, {target}", instr.mnemonic())
+            self._op("nop")
+            return
+        raise ValueError(f"cannot emit {instr!r}")
+
+    def _emit_lfsr_step(self) -> None:
+        skip = self._label("lfsr")
+        self._op("andcc   %l6, 1, %g0", "LFSR: test bit 0")
+        self._op("srlx    %l6, 1, %l6")
+        self._op(f"be,pt   %icc, {skip}")
+        self._op("nop")
+        self._op(f"set     0x{self.config.lfsr_taps:x}, %l7")
+        self._op("xor     %l6, %l7, %l6", "Galois feedback")
+        self.lines.append(f"{skip}:")
+
+
+def emit_sparc(program: Program, config: Optional[EmitConfig] = None) -> str:
+    """Emit a complete SPARC V9 assembly module for ``program``.
+
+    One routine per thread (``tsotool_thread_<pid>``), plus a header
+    documenting the register conventions and the shared-region layout.
+    The caller's harness is expected to pass the shared-region base in
+    ``%i0`` and a per-thread results area in ``%i1``, and to bind each
+    routine to one processor.
+    """
+    config = config or EmitConfig()
+    program.validate()
+    lines = [
+        "! Generated by repro (TSOtool reproduction) - SPARC V9 test program",
+        f"! threads: {program.nprocs}, shared words: {len(program.addresses())}",
+        "! conventions: %i0 = shared base, %i1 = results area,",
+        "!              %l0/%l1 = integer unique-value counter/stride,",
+        "!              %f2/%f4 = fp unique-value counter/stride,",
+        "!              %l6 = software LFSR, %o0-%o5 = result buffer",
+        "\t.text",
+        "\t.align  8",
+    ]
+    for addr in sorted(program.initial):
+        lines.append(
+            f"! init word +{addr:#x} = {program.initial[addr]}"
+        )
+    for pid in range(program.nprocs):
+        lines.append("")
+        lines.append(f"\t.global tsotool_thread_{pid}")
+        lines.extend(_ThreadEmitter(pid, program, config).emit())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,25 @@
+"""Pseudo-random racy test-program generation (Sec. 3.1, Step 1 of Fig. 1).
+
+* :class:`~repro.generator.config.GeneratorConfig` — the user-controllable
+  knobs the paper describes: processor count, shared-location count and
+  layout, instruction-type mix, loop characteristics.
+* :func:`~repro.generator.generator.generate_program` — the generator.
+* :data:`~repro.generator.litmus.LITMUS_LIBRARY` — the paper's Fig. 3/5/6/7
+  examples plus classic TSO litmus outcomes, as parsed litmus texts.
+* :class:`~repro.generator.lfsr.Lfsr` — the per-processor software LFSR
+  used for run-time randomization (branch directions).
+"""
+
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.generator.lfsr import Lfsr
+from repro.generator.litmus import LITMUS_LIBRARY, LitmusCase
+
+__all__ = [
+    "GeneratorConfig",
+    "InstructionMix",
+    "generate_program",
+    "Lfsr",
+    "LITMUS_LIBRARY",
+    "LitmusCase",
+]

@@ -1,0 +1,163 @@
+"""Generator configuration: the user knobs of Sec. 3.1.
+
+"Users can control parameters such as the relative frequency of
+instruction types, memory layout and loop characteristics."  Those three
+axes map to :class:`InstructionMix`, the ``shared_words`` / ``stride_words``
+/ ``base`` layout fields, and the ``loop_*`` fields respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Tuple
+
+from repro.generator.patterns import PATTERNS
+from repro.model.ops import WORD_SIZE
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Relative weights of each generated instruction type.
+
+    Weights are non-negative and need not sum to anything in particular;
+    a weight of zero disables the type.  The defaults create the paper's
+    "relatively short test with intense sharing": mostly loads and stores
+    with a seasoning of atomics, barriers, block operations and the
+    oddball instruction types that perturb the memory system.
+    """
+
+    load: float = 35.0
+    store: float = 35.0
+    swap: float = 4.0
+    cas: float = 4.0
+    membar: float = 4.0
+    block_load: float = 1.5
+    block_store: float = 1.5
+    nonfaulting_load: float = 2.0
+    prefetch: float = 2.0
+    flush: float = 1.0
+    branch: float = 2.0
+    interrupt: float = 0.5
+    nc_load: float = 1.0
+    nc_store: float = 1.0
+
+    def weights(self) -> List[Tuple[str, float]]:
+        """(name, weight) pairs for all enabled instruction types."""
+        out = []
+        for f in fields(self):
+            weight = getattr(self, f.name)
+            if weight < 0:
+                raise ValueError(f"negative weight for {f.name}")
+            if weight > 0:
+                out.append((f.name, weight))
+        if not out:
+            raise ValueError("instruction mix is empty")
+        return out
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Everything the user controls about a generated test.
+
+    Attributes:
+        nprocs: number of logical processors (the paper runs up to 16).
+        ops_per_proc: instructions generated per processor ("a few
+            thousand memory operations per processor" on silicon).
+        shared_words: number of shared 4-byte locations ("a relatively
+            small number of shared memory locations" keeps races intense).
+        stride_words: spacing between consecutive shared words, in words.
+            1 packs them densely into the same cache lines (maximal false
+            sharing); 16 puts each word on its own 64-byte line.
+        base: byte address of the first shared word (must be 64-byte
+            aligned so block operations can cover the region).
+        mix: relative instruction-type frequencies.
+        size_weights: weights for scalar access sizes in bytes (4/8/16).
+            Multi-word accesses are only emitted where they fit the
+            shared region without crossing its end.
+        loop_prob: probability that the generator emits a loop at any
+            given point instead of a single instruction.
+        loop_body_max: maximum instructions in a loop body.
+        loop_count_max: maximum trip count.  Loops are emitted statically
+            unrolled — the paper unrolls them during analysis anyway
+            (Sec. 3.3), and store values are counter-sourced at run time,
+            so unrolled iterations keep the unique-value guarantee.
+        branch_skip_max: maximum instructions an unpredictable branch may
+            skip.
+        pattern_prob: probability of splicing a *directed sequence* (one
+            of :data:`repro.generator.patterns.PATTERNS`) instead of a
+            single random unit — the Sec. 3.1 "desirable sequences of
+            memory operations ... likely to exercise known corner-cases".
+        patterns: which directed sequences to draw from.
+        nc_words: number of shared *non-cacheable* words, laid out in
+            their own region after the cacheable one (software never
+            aliases a location both ways).  Targeted by the ``nc_load`` /
+            ``nc_store`` mix weights — the Sec. 3.1 "memory access
+            instructions to various Address Space Identifiers".
+    """
+
+    nprocs: int = 4
+    ops_per_proc: int = 100
+    shared_words: int = 16
+    stride_words: int = 1
+    base: int = 0
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    size_weights: Dict[int, float] = field(
+        default_factory=lambda: {4: 6.0, 8: 2.0, 16: 1.0}
+    )
+    loop_prob: float = 0.05
+    loop_body_max: int = 6
+    loop_count_max: int = 4
+    branch_skip_max: int = 3
+    pattern_prob: float = 0.0
+    patterns: Tuple[str, ...] = tuple(sorted(PATTERNS))
+    nc_words: int = 2
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.ops_per_proc < 1:
+            raise ValueError("ops_per_proc must be >= 1")
+        if self.shared_words < 1:
+            raise ValueError("shared_words must be >= 1")
+        if self.stride_words < 1:
+            raise ValueError("stride_words must be >= 1")
+        if self.base % 64 != 0:
+            raise ValueError("base must be 64-byte aligned")
+        if not (0.0 <= self.loop_prob <= 1.0):
+            raise ValueError("loop_prob must be in [0, 1]")
+        for size in self.size_weights:
+            if size not in (4, 8, 16):
+                raise ValueError(f"unsupported scalar size {size}")
+        if not (0.0 <= self.pattern_prob <= 1.0):
+            raise ValueError("pattern_prob must be in [0, 1]")
+        for name in self.patterns:
+            if name not in PATTERNS:
+                raise ValueError(f"unknown pattern {name!r}")
+        if self.pattern_prob > 0 and not self.patterns:
+            raise ValueError("pattern_prob > 0 but no patterns selected")
+        if self.nc_words < 0:
+            raise ValueError("nc_words must be >= 0")
+
+    def word_addresses(self) -> List[int]:
+        """Byte addresses of all shared words, in layout order."""
+        return [
+            self.base + i * self.stride_words * WORD_SIZE
+            for i in range(self.shared_words)
+        ]
+
+    def nc_addresses(self) -> List[int]:
+        """Byte addresses of the non-cacheable words (own 64-byte region)."""
+        span = self.shared_words * self.stride_words * WORD_SIZE
+        start = self.base + ((span + 63) // 64 + 1) * 64
+        return [start + i * WORD_SIZE for i in range(self.nc_words)]
+
+    @property
+    def faulting_address(self) -> int:
+        """A word address outside the shared region, guaranteed unmapped.
+
+        Used as the target of faulting non-faulting loads; the simulator
+        treats it as an invalid page.
+        """
+        span = self.shared_words * self.stride_words * WORD_SIZE
+        span += (self.nc_words + 32) * WORD_SIZE
+        return self.base + ((span + 0xFFF) // 0x1000 + 1) * 0x1000

@@ -1,0 +1,56 @@
+"""The per-processor software LFSR (Sec. 3.1).
+
+"Occasionally, we need to randomize events during the test (such as the
+direction of hard-to-predict conditional branches), so a dynamic software
+LFSR is maintained on each processor and used as a source of random
+numbers."
+
+This is a 32-bit Galois LFSR using the maximal-length feedback polynomial
+``x^32 + x^22 + x^2 + x + 1`` (Galois mask ``0x80200003``), period
+``2**32 - 1``.  Each simulated CPU owns one instance, seeded from the
+machine seed and its CPU id, so branch randomization is deterministic per
+(program, seed) and independent across CPUs — exactly what reproducible
+failure analysis needs.
+"""
+
+from __future__ import annotations
+
+
+class Lfsr:
+    """32-bit Galois linear-feedback shift register."""
+
+    #: Galois feedback mask for x^32 + x^22 + x^2 + x + 1 (maximal length).
+    TAPS = 0x80200003
+
+    def __init__(self, seed: int) -> None:
+        """Seed the register; a zero seed is mapped to a fixed nonzero one."""
+        self.state = (seed & 0xFFFFFFFF) or 0xDEADBEEF
+
+    def next_bit(self) -> int:
+        """Advance one step and return the output bit (0 or 1)."""
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= self.TAPS
+        return out
+
+    def next_bits(self, nbits: int) -> int:
+        """Return the next ``nbits`` output bits as an integer."""
+        value = 0
+        for _ in range(nbits):
+            value = (value << 1) | self.next_bit()
+        return value
+
+    def next_below(self, bound: int) -> int:
+        """A value in ``[0, bound)``; uses rejection to avoid modulo bias."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        nbits = max(1, (bound - 1).bit_length())
+        while True:
+            value = self.next_bits(nbits)
+            if value < bound:
+                return value
+
+    def chance(self, numerator: int, denominator: int) -> bool:
+        """True with probability ``numerator / denominator``."""
+        return self.next_below(denominator) < numerator

@@ -1,0 +1,418 @@
+"""Litmus cases: the paper's examples and the classic memory-model shapes.
+
+Each :class:`LitmusCase` pairs a program *outcome* in the paper's notation
+with the expected verdict under each memory model.  The ``expect`` map
+gives, per model name, whether the outcome is **accepted** (``True`` =
+check passes).  ``complete_valid`` records ground truth from the full
+decision procedure where it differs from the polynomial verdict — the
+Fig. 5 incompleteness cases.
+
+Paper cases:
+
+* ``fig3``  — the worked 4-processor example whose analysis builds edges
+  E1–E10 and finds a cycle (Figs. 3 and 4).
+* ``fig5_base`` — the fixed-point example where ``S[A]#1`` and ``S[A]#2``
+  are left unordered even though the Order axiom implies an ordering; the
+  outcome is legal, so both checkers accept.
+* ``fig5_mirrored`` — the paper's "adding a similar, mirrored set of nodes
+  to a different location C creates an instance of a TSO violation which
+  is missed by our algorithm": the polynomial checker accepts, the
+  complete procedure rejects.
+* ``fig6``  — the silicon write-cache bug (block store vs swap losing the
+  dirty bit).
+* ``fig7``  — the CAS atomicity-window bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class LitmusCase:
+    """One named litmus outcome with expected verdicts.
+
+    Attributes:
+        name: short identifier.
+        text: the outcome in the paper's litmus notation.
+        expect: model name -> True if the polynomial check should PASS.
+        complete_valid: ground-truth validity under TSO from the complete
+            procedure, when it differs from ``expect["TSO"]`` (the
+            incompleteness cases); ``None`` means "same as polynomial".
+        description: what the case demonstrates.
+        paper_ref: figure/section of the paper, when applicable.
+    """
+
+    name: str
+    text: str
+    expect: Dict[str, bool]
+    complete_valid: Optional[bool] = None
+    description: str = ""
+    paper_ref: str = ""
+
+
+LITMUS_LIBRARY: List[LitmusCase] = [
+    LitmusCase(
+        name="fig3",
+        text="""
+            P0: S[B]#91 ; S[A]#1 ; L[A]=2
+            P1: S[A]#2
+            P2: S[B]#92 ; L[A]=2 ; L[B]=92
+            P3: L[B]=92 ; L[B]=91
+        """,
+        expect={"TSO": False, "SC": False},
+        description=(
+            "The paper's worked example: inferred edges E1-E10 produce a "
+            "cycle between S[B]#91 and S[B]#92."
+        ),
+        paper_ref="Fig. 3/4",
+    ),
+    LitmusCase(
+        name="fig5_base",
+        text="""
+            P0: S[B]#4 ; L[D]=7 ; S[A]#2
+            P1: S[B]#3 ; S[D]#7
+            P2: S[A]#1 ; M ; L[B]=3
+            P3: L[A]=1 ; L[B]=4
+        """,
+        expect={"TSO": True},
+        complete_valid=True,
+        description=(
+            "The Fig. 5 shape: two mutually-unordered stores to B (on "
+            "different processors, each ordered before S[A]#2 — one by "
+            "program order, one through the helper location D) and two "
+            "loads of B ordered after S[A]#1 reading the two different "
+            "values.  The fixed point leaves S[A]#1 and S[A]#2 unordered "
+            "although the Order axiom implies S[A]#1 <= S[A]#2: were "
+            "S[A]#2 <= S[A]#1, both B-stores would precede both loads, "
+            "which would then have to return the same (globally last) "
+            "value.  The outcome itself is legal, so no verdict is wrong "
+            "yet."
+        ),
+        paper_ref="Fig. 5",
+    ),
+    LitmusCase(
+        name="fig5_mirrored",
+        text="""
+            P0: S[B]#4 ; L[D]=7 ; S[A]#2 ; M ; L[C]=5
+            P1: S[B]#3 ; S[D]#7 ; L[A]=2 ; L[C]=6
+            P2: S[C]#6 ; L[E]=8 ; S[A]#1 ; M ; L[B]=3
+            P3: S[C]#5 ; S[E]#8 ; L[A]=1 ; L[B]=4
+        """,
+        expect={"TSO": True},
+        complete_valid=False,
+        description=(
+            "The paper's mirrored extension of Fig. 5: a symmetric set of "
+            "nodes on location C (two unordered stores ordered before "
+            "S[A]#1, two loads ordered after S[A]#2 reading the two "
+            "different values) forces S[A]#2 <= S[A]#1, while location B "
+            "forces S[A]#1 <= S[A]#2 — a genuine TSO violation.  The "
+            "polynomial algorithm accepts it (it never enforces the Order "
+            "axiom); the complete procedure rejects it."
+        ),
+        paper_ref="Fig. 5 (mirrored extension)",
+    ),
+    LitmusCase(
+        name="fig6",
+        text="""
+            P0: BST[A]#1
+            P1: SWAP[A]=1,#2 ; L[A]=1
+        """,
+        expect={"TSO": False},
+        description=(
+            "The write-cache dirty-bit silicon bug: the swap's store was "
+            "lost, so the later load sees the block store's data again. "
+            "R4 orders BST before the swap and the load; R5 orders the "
+            "swap's store before BST; cycle."
+        ),
+        paper_ref="Fig. 6",
+    ),
+    LitmusCase(
+        name="fig7",
+        text="""
+            init A=0 B=0
+            P0: CAS[A]=0,#1 ; L[B]=0
+            P1: CAS[B]=0,#1 ; L[A]=0
+        """,
+        expect={"TSO": False},
+        description=(
+            "The CAS atomicity-window bug: both CAS succeed from the "
+            "initial values yet each processor's trailing load still sees "
+            "the other location's initial value.  R7 plus atomic-group "
+            "redirection yields the cycle of Sec. 5.1."
+        ),
+        paper_ref="Fig. 7",
+    ),
+    # ------------------------------------------------------------------
+    # Classic shapes (names follow the litmus-test literature)
+    # ------------------------------------------------------------------
+    LitmusCase(
+        name="SB",
+        text="""
+            P0: S[A]#1 ; L[B]=0
+            P1: S[B]#1 ; L[A]=0
+        """,
+        expect={"TSO": True, "SC": False, "PSO": True},
+        complete_valid=True,
+        description=(
+            "Store buffering: both loads overtake the stores.  The "
+            "hallmark TSO relaxation — legal under TSO, illegal under SC."
+        ),
+    ),
+    LitmusCase(
+        name="SB+membars",
+        text="""
+            P0: S[A]#1 ; M ; L[B]=0
+            P1: S[B]#1 ; M ; L[A]=0
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description="Store buffering fenced off: illegal everywhere.",
+    ),
+    LitmusCase(
+        name="MP",
+        text="""
+            P0: S[A]#1 ; S[B]#1
+            P1: L[B]=1 ; L[A]=0
+        """,
+        expect={"TSO": False, "SC": False, "PSO": True},
+        description=(
+            "Message passing: seeing the flag but not the data requires "
+            "store-store reordering — illegal under TSO/SC, legal under "
+            "PSO."
+        ),
+    ),
+    LitmusCase(
+        name="MP+membar",
+        text="""
+            P0: S[A]#1 ; M ; S[B]#1
+            P1: L[B]=1 ; L[A]=0
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description="Message passing with a fenced writer: illegal even under PSO.",
+    ),
+    LitmusCase(
+        name="LB",
+        text="""
+            P0: L[A]=1 ; S[B]#1
+            P1: L[B]=1 ; S[A]#1
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description=(
+            "Load buffering: values out of thin air; the LoadOp axiom "
+            "forbids it under every model here."
+        ),
+    ),
+    LitmusCase(
+        name="IRIW",
+        text="""
+            P0: S[A]#1
+            P1: S[B]#1
+            P2: L[A]=1 ; L[B]=0
+            P3: L[B]=1 ; L[A]=0
+        """,
+        expect={"TSO": False, "SC": False},
+        description=(
+            "Independent reads of independent writes: the two observers "
+            "disagree on the store order — TSO's total store order (plus "
+            "ordered loads) forbids it, and R7 exposes the cycle."
+        ),
+    ),
+    LitmusCase(
+        name="CoRR",
+        text="""
+            P0: S[A]#1 ; S[A]#2
+            P1: L[A]=2 ; L[A]=1
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description="Coherence: a processor reads a location going backwards.",
+    ),
+    LitmusCase(
+        name="CoRR-ok",
+        text="""
+            P0: S[A]#1 ; S[A]#2
+            P1: L[A]=1 ; L[A]=2
+        """,
+        expect={"TSO": True, "SC": True, "PSO": True},
+        complete_valid=True,
+        description="Coherence, legal direction.",
+    ),
+    LitmusCase(
+        name="store-forwarding",
+        text="""
+            P0: S[A]#1 ; L[A]=1 ; L[B]=0
+            P1: S[B]#1 ; L[B]=1 ; L[A]=0
+        """,
+        expect={"TSO": True, "SC": False},
+        complete_valid=True,
+        description=(
+            "Each processor forwards its own buffered store to its load "
+            "before the store is globally visible — the Value axiom's "
+            "own-store term in action (legal TSO, illegal SC)."
+        ),
+    ),
+    LitmusCase(
+        name="atomic-mutex",
+        text="""
+            init A=0
+            P0: SWAP[A]=0,#1
+            P1: SWAP[A]=0,#2
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description=(
+            "Two swaps both observe the initial value: atomicity requires "
+            "one swap's store to separate the other's load from the "
+            "initial store — illegal everywhere."
+        ),
+    ),
+    LitmusCase(
+        name="cas-fail-race",
+        text="""
+            init A=0
+            P0: S[A]#5
+            P1: CASF[A]=5
+        """,
+        expect={"TSO": True, "SC": True, "PSO": True},
+        complete_valid=True,
+        description=(
+            "A failed CAS degenerates to a load (Sec. 3.3): P1's compare "
+            "load observed 5, an intervening store broke the compare."
+        ),
+    ),
+    LitmusCase(
+        name="WRC",
+        text="""
+            P0: S[A]#1
+            P1: L[A]=1 ; S[B]#1
+            P2: L[B]=1 ; L[A]=0
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description=(
+            "Write-to-read causality: P2 sees P1's flag, which P1 wrote "
+            "after seeing P0's store, yet P2 misses that store.  The "
+            "LoadOp edges keep causality intact under all three models."
+        ),
+    ),
+    LitmusCase(
+        name="RWC",
+        text="""
+            P0: S[A]#1
+            P1: L[A]=1 ; L[B]=0
+            P2: S[B]#1 ; M ; L[A]=0
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description=(
+            "Read-to-write causality with a fenced second writer: R7 "
+            "places both init-reading loads before the stores they "
+            "missed, closing the cycle."
+        ),
+    ),
+    LitmusCase(
+        name="S",
+        text="""
+            P0: S[A]#1 ; S[B]#1
+            P1: L[B]=1 ; S[A]#2
+            P2: L[A]=2 ; L[A]=1
+        """,
+        expect={"TSO": False, "SC": False, "PSO": True},
+        complete_valid=False,
+        description=(
+            "The S shape: P1 observes P0's flag and overwrites A, yet A's "
+            "final order puts P0's store last.  Needs the StoreStore edge "
+            "on P0 — illegal under TSO/SC, legal under PSO."
+        ),
+    ),
+    LitmusCase(
+        name="R",
+        text="""
+            P0: S[A]#1 ; S[B]#1
+            P1: S[B]#2 ; M ; L[A]=0
+            P2: L[B]=1 ; L[B]=2
+        """,
+        expect={"TSO": False, "SC": False},
+        description=(
+            "The R shape: the B-store order (fixed by P2's reads) chains "
+            "P0's A-store before P1's fenced load, which nevertheless "
+            "reads the initial value."
+        ),
+    ),
+    LitmusCase(
+        name="SB+one-membar",
+        text="""
+            P0: S[A]#1 ; M ; L[B]=0
+            P1: S[B]#1 ; L[A]=0
+        """,
+        expect={"TSO": True, "SC": False},
+        complete_valid=True,
+        description=(
+            "Store buffering with only one side fenced: the unfenced "
+            "load may still overtake its store, so the outcome survives "
+            "under TSO (both-sides fencing is required to forbid it)."
+        ),
+    ),
+    LitmusCase(
+        name="CoWR",
+        text="""
+            P0: S[A]#1 ; L[A]=2 ; L[A]=1
+            P1: S[A]#2
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description=(
+            "Coherence write-read: P0 observes the foreign store "
+            "overwriting its own, then reads its own store again — R5 "
+            "and R6 derive contradictory orders for the two stores."
+        ),
+    ),
+    LitmusCase(
+        name="atomic-chain",
+        text="""
+            init A=0
+            P0: SWAP[A]=0,#1
+            P1: SWAP[A]=1,#2
+        """,
+        expect={"TSO": True, "SC": True, "PSO": True},
+        complete_valid=True,
+        description=(
+            "A token passes through two swaps: each reads the previous "
+            "writer's value — the legal atomic hand-off."
+        ),
+    ),
+    LitmusCase(
+        name="atomic-chain-backwards",
+        text="""
+            init A=0
+            P0: SWAP[A]=0,#1
+            P1: SWAP[A]=1,#2
+            P2: L[A]=2 ; L[A]=1
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description=(
+            "The same hand-off observed backwards: the observer's reads "
+            "order swap 2 before swap 1, contradicting the value chain "
+            "through the swaps."
+        ),
+    ),
+    LitmusCase(
+        name="CO-2observers",
+        text="""
+            P0: S[A]#1
+            P1: S[A]#2
+            P2: L[A]=1 ; L[A]=2
+            P3: L[A]=2 ; L[A]=1
+        """,
+        expect={"TSO": False, "SC": False, "PSO": False},
+        description=(
+            "Two observers disagree on the order of two stores to the "
+            "same location: rule R6 derives both orderings, closing a "
+            "cycle — coherence is part of every model here."
+        ),
+    ),
+]
+
+
+def litmus_by_name(name: str) -> LitmusCase:
+    """Look up a case from :data:`LITMUS_LIBRARY` by name."""
+    for case in LITMUS_LIBRARY:
+        if case.name == name:
+            return case
+    raise KeyError(f"no litmus case named {name!r}")

@@ -1,0 +1,189 @@
+"""Directed operation sequences for known corner cases (Sec. 3.1).
+
+"TSOtool allows users ... the ability to specify desirable sequences of
+memory operations which are considered likely to exercise known
+corner-cases in the design, such as a queue in the system becoming full
+or a hazard condition being created."
+
+Each pattern builds a short instruction sequence aimed at one
+microarchitectural corner.  The generator mixes them into random tests
+with probability :attr:`~repro.generator.config.GeneratorConfig.pattern_prob`;
+``benchmarks/test_ablation_patterns.py`` measures what they buy in
+detection latency over pure random generation.
+
+Pattern builders return instruction lists in which any
+:class:`~repro.model.ops.ICas` ``compare_from`` index is *relative to the
+returned list*; the generator rebases it when splicing the pattern into
+a thread.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.model.ops import (
+    WORD_SIZE,
+    IBlockStore,
+    ICas,
+    ILoad,
+    IMembar,
+    IStore,
+    ISwap,
+    Instr,
+)
+
+#: A pattern builder: (rng, shared word addresses) -> instruction list.
+PatternBuilder = Callable[[random.Random, Sequence[int]], List[Instr]]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A named directed sequence with its targeting rationale."""
+
+    name: str
+    description: str
+    build: PatternBuilder
+
+
+def _word(rng: random.Random, words: Sequence[int]) -> int:
+    return rng.choice(list(words))
+
+
+def _two_words(rng: random.Random, words: Sequence[int]) -> List[int]:
+    pool = list(words)
+    if len(pool) == 1:
+        return [pool[0], pool[0]]
+    return rng.sample(pool, 2)
+
+
+def store_burst(rng: random.Random, words: Sequence[int]) -> List[Instr]:
+    """Back-to-back stores — drives the store buffer (a queue) to full.
+
+    The paper's canonical corner case: "a queue in the system becoming
+    full".  A burst longer than the buffer capacity forces stall-drains
+    and exercises the drain path under pressure.
+    """
+    length = rng.randint(10, 14)
+    return [IStore(addr=_word(rng, words)) for _ in range(length)]
+
+
+def false_sharing_pingpong(rng: random.Random, words: Sequence[int]) -> List[Instr]:
+    """Alternating store/load on two words that share a cache line."""
+    a, b = _two_words(rng, words)
+    out: List[Instr] = []
+    for _ in range(rng.randint(2, 4)):
+        out.extend([IStore(addr=a), ILoad(addr=b), IStore(addr=b), ILoad(addr=a)])
+    return out
+
+
+def atomic_contention(rng: random.Random, words: Sequence[int]) -> List[Instr]:
+    """Load + CAS + swap hammering one location (lock-like contention)."""
+    addr = _word(rng, words)
+    out: List[Instr] = [
+        ILoad(addr=addr),
+        ICas(addr=addr, size=WORD_SIZE, compare_from=0),
+        ISwap(addr=addr),
+        ILoad(addr=addr),
+        ICas(addr=addr, size=WORD_SIZE, compare_from=3),
+    ]
+    return out
+
+
+def message_passing(rng: random.Random, words: Sequence[int]) -> List[Instr]:
+    """Publish data then a flag across a membar; read them back.
+
+    The classic producer/consumer hazard: any store reordering or stale
+    flag/data line turns into a checker-visible MP violation.
+    """
+    data, flag = _two_words(rng, words)
+    return [
+        IStore(addr=data),
+        IMembar(),
+        IStore(addr=flag),
+        ILoad(addr=flag),
+        ILoad(addr=data),
+    ]
+
+
+def forwarding_hammer(rng: random.Random, words: Sequence[int]) -> List[Instr]:
+    """Store/load/store/load on one word — store-to-load bypass stress."""
+    addr = _word(rng, words)
+    out: List[Instr] = []
+    for _ in range(rng.randint(2, 4)):
+        out.extend([IStore(addr=addr), ILoad(addr=addr)])
+    return out
+
+
+def fence_ladder(rng: random.Random, words: Sequence[int]) -> List[Instr]:
+    """Store-membar rungs: every store's visibility is checkpointed."""
+    out: List[Instr] = []
+    for _ in range(rng.randint(2, 4)):
+        out.extend([IStore(addr=_word(rng, words)), IMembar()])
+    out.append(ILoad(addr=_word(rng, words)))
+    return out
+
+
+def block_scalar_overlap(rng: random.Random, words: Sequence[int]) -> List[Instr]:
+    """A block store with scalar reads poking inside its footprint.
+
+    Exercises write-cache/line-buffer interactions like the Fig. 6 bug;
+    only emitted when a 64-byte line is addressable.
+    """
+    line = min(words) - (min(words) % 64)
+    probes = [w for w in words if line <= w < line + 64]
+    out: List[Instr] = [IBlockStore(addr=line)]
+    for _ in range(min(3, len(probes))):
+        out.append(ILoad(addr=rng.choice(probes)))
+    return out
+
+
+def dekker_flags(rng: random.Random, words: Sequence[int]) -> List[Instr]:
+    """Store own flag, fence, read the peer flag — Dekker entry protocol."""
+    mine, theirs = _two_words(rng, words)
+    return [IStore(addr=mine), IMembar(), ILoad(addr=theirs), ILoad(addr=mine)]
+
+
+#: The registry, keyed by name.
+PATTERNS: Dict[str, Pattern] = {
+    p.name: p
+    for p in (
+        Pattern("store_burst", "fill the store buffer (queue-full hazard)",
+                store_burst),
+        Pattern("false_sharing_pingpong", "two words, one cache line",
+                false_sharing_pingpong),
+        Pattern("atomic_contention", "CAS/swap hammering one lock word",
+                atomic_contention),
+        Pattern("message_passing", "data+flag publication hazard",
+                message_passing),
+        Pattern("forwarding_hammer", "store-to-load bypass stress",
+                forwarding_hammer),
+        Pattern("fence_ladder", "membar after every store",
+                fence_ladder),
+        Pattern("block_scalar_overlap", "block store vs scalar probes",
+                block_scalar_overlap),
+        Pattern("dekker_flags", "Dekker mutual-exclusion entry",
+                dekker_flags),
+    )
+}
+
+
+def build_pattern(
+    name: str, rng: random.Random, words: Sequence[int], base_index: int
+) -> List[Instr]:
+    """Materialize a pattern, rebasing CAS compare indices to the thread.
+
+    Args:
+        name: registry key.
+        rng: the generator's PRNG (patterns are deterministic per seed).
+        words: shared word addresses available to the pattern.
+        base_index: index in the thread at which the sequence will land.
+    """
+    instrs = PATTERNS[name].build(rng, words)
+    rebased: List[Instr] = []
+    for instr in instrs:
+        if isinstance(instr, ICas):
+            instr = replace(instr, compare_from=instr.compare_from + base_index)
+        rebased.append(instr)
+    return rebased

@@ -1,0 +1,301 @@
+"""Multithreaded test programs and the paper's litmus notation.
+
+A :class:`Program` is the static artifact of the generation phase (Step 1
+in Fig. 1): one instruction list per processor plus initial memory
+contents.  Programs carry no dynamic information; observed load values,
+branch directions and CAS outcomes live in
+:class:`repro.model.trace.Execution`.
+
+The paper presents examples in a compact notation — ``S[A]#1`` is a store
+writing 1 to location A, ``L[B]=92`` a load observing 92 — which couples a
+program with an observed outcome.  :func:`parse_litmus` accepts that
+notation (one ``Pn:`` line per processor, operations separated by ``;``)
+and returns the ``(Program, Execution)`` pair ready for analysis, which is
+how the Fig. 3/5/6/7 examples are encoded in :mod:`repro.generator.litmus`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.model.ops import (
+    WORD_SIZE,
+    IBranch,
+    ICas,
+    ILoad,
+    IMembar,
+    IStore,
+    ISwap,
+    Instr,
+)
+from repro.model.trace import DynRecord, Execution
+
+
+@dataclass
+class Thread:
+    """The instruction sequence executed by one logical processor."""
+
+    instrs: List[Instr] = field(default_factory=list)
+
+    def append(self, instr: Instr) -> int:
+        """Append ``instr`` and return its index within the thread."""
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+
+@dataclass
+class Program:
+    """A complete multithreaded test program.
+
+    Attributes:
+        threads: one :class:`Thread` per processor, index = processor id.
+        initial: initial value of each shared word (word address -> value);
+            addresses absent from the mapping start at 0.
+        word_names: optional symbolic names for word addresses, used only
+            for pretty-printing and litmus round-trips.
+    """
+
+    threads: List[Thread]
+    initial: Dict[int, int] = field(default_factory=dict)
+    word_names: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def nprocs(self) -> int:
+        """Number of processors (threads) in the program."""
+        return len(self.threads)
+
+    def addresses(self) -> Set[int]:
+        """All word addresses touched by any data access in the program."""
+        words: Set[int] = set()
+        for thread in self.threads:
+            for instr in thread:
+                addr = getattr(instr, "addr", None)
+                if addr is None:
+                    continue
+                nwords = instr.words()
+                if nwords == 0:  # prefetch/flush: touches the word for cache purposes only
+                    continue
+                for w in range(nwords):
+                    words.add(addr + w * WORD_SIZE)
+        words.update(self.initial)
+        return words
+
+    def initial_value(self, word_addr: int) -> int:
+        """Initial value of the word at ``word_addr`` (0 if unspecified)."""
+        return self.initial.get(word_addr, 0)
+
+    def name_of(self, word_addr: int) -> str:
+        """Symbolic name for a word address, falling back to hex."""
+        return self.word_names.get(word_addr, f"{word_addr:#x}")
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raise ``ValueError`` if broken.
+
+        Verifies that every CAS points back at an earlier same-address,
+        same-size load in its own thread (the Sec. 3.1 pairing), and that
+        branches do not skip past the end of the thread.
+        """
+        for pid, thread in enumerate(self.threads):
+            for idx, instr in enumerate(thread):
+                if isinstance(instr, ICas):
+                    if instr.compare_from >= idx:
+                        raise ValueError(
+                            f"P{pid}[{idx}]: CAS compare_from {instr.compare_from} "
+                            "does not precede the CAS"
+                        )
+                    src = thread.instrs[instr.compare_from]
+                    if not isinstance(src, ILoad) or src.addr != instr.addr or src.size != instr.size:
+                        raise ValueError(
+                            f"P{pid}[{idx}]: CAS compare_from must reference a load "
+                            "of the same size to the same address"
+                        )
+                if isinstance(instr, IBranch) and idx + instr.skip >= len(thread):
+                    raise ValueError(f"P{pid}[{idx}]: branch skips past end of thread")
+
+
+# ---------------------------------------------------------------------------
+# Litmus notation
+# ---------------------------------------------------------------------------
+
+_TOKEN_RES = {
+    "store": re.compile(r"^(?:S|BST)\[(\w+)\]#(-?\d+)$"),
+    "load": re.compile(r"^L\[(\w+)\]=(-?\d+)$"),
+    "swap": re.compile(r"^SWAP\[(\w+)\]=(-?\d+),#(-?\d+)$"),
+    "cas": re.compile(r"^CAS\[(\w+)\]=(-?\d+),#(-?\d+)$"),
+    "casf": re.compile(r"^CASF\[(\w+)\]=(-?\d+)$"),
+    "membar": re.compile(r"^(?:M|MEMBAR)$"),
+}
+
+_PROC_RE = re.compile(r"^P(\d+)\s*:\s*(.*)$")
+_INIT_RE = re.compile(r"^init\s+(.*)$", re.IGNORECASE)
+
+
+class LitmusError(ValueError):
+    """Raised when litmus text cannot be parsed."""
+
+
+def _alloc_addr(name: str, table: Dict[str, int]) -> int:
+    if name not in table:
+        table[name] = len(table) * WORD_SIZE
+    return table[name]
+
+
+def parse_litmus(text: str) -> Tuple[Program, Execution]:
+    """Parse the paper's litmus notation into a ``(Program, Execution)`` pair.
+
+    Grammar (blank lines and ``#`` comments ignored)::
+
+        init A=0 B=5          # optional; unlisted locations start at 0
+        P0: S[B]#91 ; S[A]#1 ; L[A]=2
+        P1: S[A]#2
+        P2: SWAP[A]=1,#2 ; M ; CAS[B]=0,#7 ; CASF[B]=9
+
+    ``S[A]#v`` stores v to A (``BST[A]#v`` is accepted as a synonym, used
+    when transcribing the Fig. 6 block-store example); ``L[A]=v`` is a load
+    observing v; ``SWAP[A]=old,#new`` an atomic swap; ``CAS[A]=old,#new`` a
+    compare-and-swap that succeeded; ``CASF[A]=old`` one that failed (and
+    therefore degenerates to a load, Sec. 3.3); ``M`` a full membar.
+
+    Each ``CAS``/``CASF`` is emitted with its Sec. 3.1 companion load
+    implicitly: the compare value is taken to be the ``old`` value written
+    in the notation, and the implicit load is *not* added to the program —
+    the notation describes dynamic outcomes directly, so the compare value
+    is recorded on the CAS's own record.
+    """
+    addr_table: Dict[str, int] = {}
+    init_named: Dict[str, int] = {}
+    proc_lines: Dict[int, str] = {}
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip() if not _looks_like_op_line(raw) else raw.strip()
+        if not line:
+            continue
+        m = _INIT_RE.match(line)
+        if m:
+            for part in m.group(1).split():
+                if "=" not in part:
+                    raise LitmusError(f"bad init clause: {part!r}")
+                name, val = part.split("=", 1)
+                init_named[name] = int(val)
+            continue
+        m = _PROC_RE.match(line)
+        if m:
+            pid = int(m.group(1))
+            if pid in proc_lines:
+                raise LitmusError(f"duplicate processor line P{pid}")
+            proc_lines[pid] = m.group(2)
+            continue
+        raise LitmusError(f"unrecognized line: {raw!r}")
+
+    if not proc_lines:
+        raise LitmusError("no processor lines found")
+    nprocs = max(proc_lines) + 1
+
+    threads: List[Thread] = [Thread() for _ in range(nprocs)]
+    records: List[List[DynRecord]] = [[] for _ in range(nprocs)]
+
+    for pid in range(nprocs):
+        body = proc_lines.get(pid, "")
+        for tok in filter(None, (t.strip() for t in body.split(";"))):
+            _parse_op(tok, threads[pid], records[pid], addr_table)
+
+    initial = {_alloc_addr(n, addr_table): v for n, v in init_named.items()}
+    word_names = {addr: name for name, addr in addr_table.items()}
+    program = Program(threads=threads, initial=initial, word_names=word_names)
+    program.validate()
+    execution = Execution(records=records)
+    return program, execution
+
+
+def _looks_like_op_line(raw: str) -> bool:
+    # '#' introduces store values inside op lines, so only strip comments
+    # from lines that are not processor bodies.
+    return bool(_PROC_RE.match(raw.strip()))
+
+
+def _parse_op(
+    tok: str,
+    thread: Thread,
+    records: List[DynRecord],
+    addr_table: Dict[str, int],
+) -> None:
+    m = _TOKEN_RES["store"].match(tok)
+    if m:
+        addr = _alloc_addr(m.group(1), addr_table)
+        instr = IStore(addr=addr, size=WORD_SIZE)
+        thread.append(instr)
+        records.append(DynRecord(instr=instr, stored=(int(m.group(2)),)))
+        return
+    m = _TOKEN_RES["load"].match(tok)
+    if m:
+        addr = _alloc_addr(m.group(1), addr_table)
+        instr = ILoad(addr=addr, size=WORD_SIZE)
+        thread.append(instr)
+        records.append(DynRecord(instr=instr, loaded=(int(m.group(2)),)))
+        return
+    m = _TOKEN_RES["swap"].match(tok)
+    if m:
+        addr = _alloc_addr(m.group(1), addr_table)
+        instr = ISwap(addr=addr, size=WORD_SIZE)
+        thread.append(instr)
+        records.append(
+            DynRecord(instr=instr, loaded=(int(m.group(2)),), stored=(int(m.group(3)),))
+        )
+        return
+    m = _TOKEN_RES["cas"].match(tok)
+    if m:
+        addr = _alloc_addr(m.group(1), addr_table)
+        load = ILoad(addr=addr, size=WORD_SIZE)
+        load_idx = thread.append(load)
+        records.append(DynRecord(instr=load, loaded=(int(m.group(2)),)))
+        instr = ICas(addr=addr, size=WORD_SIZE, compare_from=load_idx)
+        thread.append(instr)
+        records.append(
+            DynRecord(
+                instr=instr,
+                loaded=(int(m.group(2)),),
+                stored=(int(m.group(3)),),
+                cas_ok=True,
+            )
+        )
+        return
+    m = _TOKEN_RES["casf"].match(tok)
+    if m:
+        addr = _alloc_addr(m.group(1), addr_table)
+        load = ILoad(addr=addr, size=WORD_SIZE)
+        load_idx = thread.append(load)
+        records.append(DynRecord(instr=load, loaded=(int(m.group(2)),)))
+        instr = ICas(addr=addr, size=WORD_SIZE, compare_from=load_idx)
+        thread.append(instr)
+        records.append(
+            DynRecord(instr=instr, loaded=(int(m.group(2)),), cas_ok=False)
+        )
+        return
+    if _TOKEN_RES["membar"].match(tok):
+        instr = IMembar()
+        thread.append(instr)
+        records.append(DynRecord(instr=instr))
+        return
+    raise LitmusError(f"unrecognized operation: {tok!r}")
+
+
+def format_program(program: Program) -> str:
+    """Render a program as one ``Pn:`` mnemonic line per processor."""
+    lines = []
+    if program.initial:
+        inits = " ".join(
+            f"{program.name_of(a)}={v}" for a, v in sorted(program.initial.items())
+        )
+        lines.append(f"init {inits}")
+    for pid, thread in enumerate(program.threads):
+        body = " ; ".join(instr.mnemonic() for instr in thread)
+        lines.append(f"P{pid}: {body}")
+    return "\n".join(lines)

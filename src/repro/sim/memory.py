@@ -1,0 +1,65 @@
+"""Word-addressed global memory.
+
+The single point of global visibility in the machine: a store is "part of
+the global memory order" exactly when it is written here (plus the
+accompanying invalidation broadcast, which the golden machine performs in
+the same step — see :mod:`repro.sim.machine`).
+
+Also tracks, per word, the value that the most recent write replaced;
+the :class:`~repro.sim.faults.DroppedSpeculativeLoadFault` uses it to
+model the Sec. 5.1 DRAM-controller bug ("dropped a speculative load
+request due to a buffer full condition, leading to data corruption") by
+returning freshly-overwritten data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.model.ops import WORD_SIZE
+
+
+class Memory:
+    """Flat word-granular memory with page-validity bookkeeping."""
+
+    #: Page size for validity checks (non-faulting loads).
+    PAGE = 0x1000
+
+    def __init__(self, initial: Optional[Dict[int, int]] = None) -> None:
+        """Create memory; ``initial`` maps word addresses to start values."""
+        self._words: Dict[int, int] = dict(initial or {})
+        self._previous: Dict[int, int] = {}
+        self._valid_pages: Set[int] = {
+            addr // self.PAGE for addr in self._words
+        }
+
+    def register_valid(self, addresses: Iterable[int]) -> None:
+        """Mark the pages containing ``addresses`` as mapped (non-faulting)."""
+        for addr in addresses:
+            self._valid_pages.add(addr // self.PAGE)
+
+    def is_valid(self, addr: int) -> bool:
+        """Whether the page containing ``addr`` is mapped."""
+        return addr // self.PAGE in self._valid_pages
+
+    def read(self, addr: int) -> int:
+        """Read the word at ``addr`` (0 if never written)."""
+        if addr % WORD_SIZE:
+            raise ValueError(f"unaligned word read at {addr:#x}")
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        """Write the word at ``addr``, remembering the replaced value."""
+        if addr % WORD_SIZE:
+            raise ValueError(f"unaligned word write at {addr:#x}")
+        self._previous[addr] = self._words.get(addr, 0)
+        self._words[addr] = value
+        self._valid_pages.add(addr // self.PAGE)
+
+    def previous_value(self, addr: int) -> int:
+        """The value the last write to ``addr`` replaced (0 if none)."""
+        return self._previous.get(addr, self._words.get(addr, 0))
+
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of the current contents (for tests and debug)."""
+        return dict(self._words)

@@ -1,0 +1,108 @@
+"""Per-CPU FIFO store buffers with load forwarding.
+
+The store buffer is what makes the machine TSO instead of SC: a store
+becomes visible to its own CPU immediately (forwarding) but to the rest
+of the system only when its entry drains to memory, so the CPU's later
+loads can overtake its earlier stores in the global order — exactly the
+one relaxation TSO permits (Sec. 2: "a load which succeeds a store in
+program order may precede it in global order").
+
+Each :class:`BufferedStore` entry carries *all* the words of one
+architectural store (or one 8-byte chunk of a block store) and drains
+atomically, preserving the single-access atomicity the architecture
+requires for aligned accesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BufferedStore:
+    """One pending store: the words it writes and a debug tag.
+
+    ``cacheable=False`` marks a non-cacheable (ASI) store; the healthy
+    machine drains all entries in FIFO order regardless, but the
+    memory-controller fault models use the flag to race the cached and
+    uncached write queues against each other (Sec. 5.1).
+    """
+
+    words: Tuple[Tuple[int, int], ...]  # (word address, value) pairs
+    tag: str = ""
+    cacheable: bool = True
+
+    def value_for(self, addr: int) -> Optional[int]:
+        """The value this entry writes to ``addr``, or None."""
+        for waddr, value in self.words:
+            if waddr == addr:
+                return value
+        return None
+
+
+class StoreBuffer:
+    """A bounded FIFO of :class:`BufferedStore` entries."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[BufferedStore] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when another push would exceed capacity."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is pending."""
+        return not self._entries
+
+    def push(self, entry: BufferedStore) -> None:
+        """Enqueue a store; caller must have drained if the buffer is full."""
+        if self.full:
+            raise OverflowError("store buffer full")
+        self._entries.append(entry)
+
+    def peek(self, index: int = 0) -> BufferedStore:
+        """The entry at FIFO position ``index`` (0 = oldest) without removal."""
+        return self._entries[index]
+
+    def pop(self, index: int = 0) -> BufferedStore:
+        """Remove and return the entry at FIFO position ``index``.
+
+        The golden machine always pops index 0; fault models (memory
+        controller queue reordering) may pop out of order.
+        """
+        if index == 0:
+            return self._entries.popleft()
+        entry = self._entries[index]
+        del self._entries[index]
+        return entry
+
+    def swap(self, i: int, j: int) -> None:
+        """Exchange two entries in place (StoreBufferReorderFault hook)."""
+        self._entries[i], self._entries[j] = self._entries[j], self._entries[i]
+
+    def forward(self, addr: int, newest_first: bool = True) -> Optional[int]:
+        """The value the buffer would forward to a load of ``addr``.
+
+        Scans from the newest entry by default (correct behaviour); the
+        stale-forwarding fault scans oldest-first instead.
+        """
+        entries = reversed(self._entries) if newest_first else iter(self._entries)
+        for entry in entries:
+            value = entry.value_for(addr)
+            if value is not None:
+                return value
+        return None
+
+    def entries(self) -> List[BufferedStore]:
+        """A snapshot list of the pending entries, oldest first."""
+        return list(self._entries)

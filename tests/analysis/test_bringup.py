@@ -1,0 +1,63 @@
+"""Tests for the silicon bring-up harness."""
+
+import pytest
+
+from repro.analysis.bringup import BringupEvent, BringupLog, bringup
+from repro.sim.cpus import cpu_by_name
+from repro.sim.faults import BugClass
+
+
+class TestBringup:
+    @pytest.fixture(scope="class")
+    def cpu1_log(self):
+        return bringup(cpu_by_name("CPU1"))
+
+    def test_all_hardware_bugs_fixed(self, cpu1_log):
+        assert cpu1_log.fixed == 3
+        assert cpu1_log.remaining == []
+
+    def test_events_name_roster_bugs(self, cpu1_log):
+        roster = {spec.name for spec in cpu_by_name("CPU1").bugs}
+        for event in cpu1_log.events:
+            assert event.bug in roster
+
+    def test_no_bug_fixed_twice(self, cpu1_log):
+        names = [event.bug for event in cpu1_log.events]
+        assert len(names) == len(set(names))
+
+    def test_deterministic(self):
+        a = bringup(cpu_by_name("CPU1"))
+        b = bringup(cpu_by_name("CPU1"))
+        assert [e.bug for e in a.events] == [e.bug for e in b.events]
+        assert a.total_tests == b.total_tests
+
+    def test_diary_renders(self, cpu1_log):
+        text = cpu1_log.render()
+        assert "bring-up of CPU1" in text
+        assert "root-caused" in text
+
+    def test_monitor_and_environment_bugs_excluded(self):
+        log = bringup(cpu_by_name("CPU3"), max_tests=250)
+        hardware = [
+            spec.name for spec in cpu_by_name("CPU3").bugs
+            if spec.bug_class in (BugClass.ARCHITECTURE, BugClass.DESIGN)
+        ]
+        fixed_or_latent = {e.bug for e in log.events} | set(log.remaining)
+        assert fixed_or_latent <= set(hardware)
+
+    def test_budget_respected(self):
+        log = bringup(cpu_by_name("CPU5"), max_tests=3)
+        assert log.total_tests <= 3
+        assert log.remaining  # cannot fix 22 bugs in 3 tests
+
+    def test_new_design_bringup_fixes_most_of_the_roster(self):
+        # CPU5 is a "completely new design" with 22 hardware bugs; early
+        # silicon fails virtually every test, so bring-up converges fast.
+        log = bringup(cpu_by_name("CPU5"), max_tests=600)
+        assert log.fixed >= 20
+        assert log.total_tests < 200
+
+    def test_attribution_mostly_single_fault(self):
+        log = bringup(cpu_by_name("CPU5"), max_tests=600)
+        attributed = sum(1 for e in log.events if e.attributed)
+        assert attributed >= log.fixed * 3 // 4

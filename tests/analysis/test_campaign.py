@@ -1,0 +1,104 @@
+"""Tests for the Table 1/2 campaign harness."""
+
+import pytest
+
+from repro.analysis.campaign import (
+    BugHunt,
+    CampaignConfig,
+    CampaignResult,
+    format_table1,
+    format_table2,
+    hunt_bug,
+    run_campaign,
+)
+from repro.sim.cpus import CPU_CONFIGS, BugSpec, cpu_by_name
+from repro.sim.faults import (
+    BugClass,
+    FuncUnit,
+    MonitorFalseAlarmFault,
+    StaleForwardFault,
+    TraceCorruptionFault,
+)
+
+FAST = CampaignConfig(tests_per_bug=8)
+
+
+class TestHuntBug:
+    def test_design_bug_detected_via_tso_failure(self):
+        spec = BugSpec(
+            name="t-design", mechanism=StaleForwardFault,
+            unit=FuncUnit.LSU, bug_class=BugClass.DESIGN,
+        )
+        hunt = hunt_bug(spec, "CPUX", FAST)
+        assert hunt.detected
+        assert "TSO violation" in hunt.via
+        assert hunt.detected_on_seed is not None
+        assert 1 <= hunt.tests_run <= FAST.tests_per_bug
+
+    def test_monitor_bug_detected_via_spurious_alarm(self):
+        spec = BugSpec(
+            name="t-monitor", mechanism=MonitorFalseAlarmFault,
+            unit=FuncUnit.CACHES, bug_class=BugClass.MONITOR,
+        )
+        hunt = hunt_bug(spec, "CPUX", FAST)
+        assert hunt.detected
+        assert "alarm" in hunt.via
+
+    def test_environment_bug_detected_via_trace_divergence(self):
+        spec = BugSpec(
+            name="t-env", mechanism=TraceCorruptionFault,
+            unit=FuncUnit.NONE, bug_class=BugClass.ENVIRONMENT,
+            rate=0.05,
+        )
+        hunt = hunt_bug(spec, "CPUX", FAST)
+        assert hunt.detected
+        assert "true trace passes" in hunt.via
+
+    def test_undetectable_bug_reports_miss(self):
+        spec = BugSpec(
+            name="t-dud", mechanism=StaleForwardFault,
+            unit=FuncUnit.LSU, bug_class=BugClass.DESIGN, rate=0.0,
+        )
+        hunt = hunt_bug(spec, "CPUX", CampaignConfig(tests_per_bug=2))
+        assert not hunt.detected
+        assert hunt.tests_run == 2
+
+    def test_reproducible_given_same_config(self):
+        spec = cpu_by_name("CPU1").bugs[0]
+        a = hunt_bug(spec, "CPU1", FAST, bug_index=0)
+        b = hunt_bug(spec, "CPU1", FAST, bug_index=0)
+        assert a.detected_on_seed == b.detected_on_seed
+
+
+class TestCampaignTables:
+    @pytest.fixture(scope="class")
+    def small_campaign(self):
+        return run_campaign(cpus=[cpu_by_name("CPU1"), cpu_by_name("CPU2")], config=FAST)
+
+    def test_cpu1_and_cpu2_rows_match_paper(self, small_campaign):
+        rows = dict(small_campaign.table1_rows())
+        assert rows["CPU1"][BugClass.DESIGN] == 3
+        assert rows["CPU2"][BugClass.DESIGN] == 4
+        assert rows["CPU2"][BugClass.MONITOR] == 3
+
+    def test_table2_rows(self, small_campaign):
+        rows = dict(small_campaign.table2_rows())
+        assert rows["CPU1"][FuncUnit.CACHES] == 3
+        assert rows["CPU2"][FuncUnit.PIPE] == 1
+        assert rows["CPU2"][FuncUnit.MEM_CNTLR] == 1
+
+    def test_formatting_contains_totals(self, small_campaign):
+        t1 = format_table1(small_campaign)
+        t2 = format_table2(small_campaign)
+        assert "Total" in t1 and "Total" in t2
+        assert "Architecture" in t1
+        assert "Interconnect" in t2
+
+    def test_no_misses_on_small_campaign(self, small_campaign):
+        assert small_campaign.missed() == []
+
+    def test_by_cpu_grouping(self, small_campaign):
+        grouped = small_campaign.by_cpu()
+        assert set(grouped) == {"CPU1", "CPU2"}
+        assert len(grouped["CPU1"]) == 3
+        assert len(grouped["CPU2"]) == 7

@@ -1,0 +1,135 @@
+"""Tests for the coverage-reporting module."""
+
+import pytest
+
+from repro.analysis.coverage import CoverageReport, measure_coverage
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.model.ops import IBranch, ILoad, IMembar, IStore, ISwap
+from repro.model.program import Program, Thread
+from repro.model.trace import Execution
+from repro.sim.machine import MachineConfig, TsoMachine
+from tests.util import golden_run
+
+
+def _run(threads, seed=0, config=None, initial=None):
+    program = Program(threads=[Thread(t) for t in threads], initial=initial or {})
+    machine = TsoMachine(program, seed=seed, config=config or MachineConfig())
+    execution = machine.run()
+    return program, execution, machine
+
+
+class TestTraceMetrics:
+    def test_instruction_mix_counted(self):
+        program, execution, machine = _run(
+            [[IStore(addr=0), ILoad(addr=0), IMembar(), ISwap(addr=0)]]
+        )
+        report = measure_coverage(program, execution, machine)
+        assert report.instr_counts["store"] == 1
+        assert report.instr_counts["load"] == 1
+        assert report.instr_counts["membar"] == 1
+        assert report.instr_counts["swap"] == 1
+        assert report.total_memory_ops == 3
+
+    def test_write_shared_words(self):
+        program, execution, _m = _run(
+            [[IStore(addr=0), IStore(addr=4)], [IStore(addr=0)]]
+        )
+        report = measure_coverage(program, execution)
+        assert report.words_touched == 2
+        assert report.write_shared_words == 1  # word 0 only
+
+    def test_race_pairs_require_a_writer(self):
+        # Two readers never race; writer+reader and writer+writer do.
+        program, execution, _m = _run(
+            [[ILoad(addr=0)], [ILoad(addr=0)]], initial={0: 0}
+        )
+        assert measure_coverage(program, execution).race_pairs == 0
+        program, execution, _m = _run(
+            [[IStore(addr=0)], [ILoad(addr=0)]]
+        )
+        assert measure_coverage(program, execution).race_pairs == 1
+
+    def test_atomic_contention_counted(self):
+        program, execution, _m = _run(
+            [[ISwap(addr=0)], [ISwap(addr=0)], [ISwap(addr=4)]]
+        )
+        report = measure_coverage(program, execution)
+        assert report.atomic_contended_words == 1
+
+    def test_branch_directions(self):
+        threads = [[IBranch(skip=1), ILoad(addr=0), ILoad(addr=0)]]
+        taken = not_taken = 0
+        for seed in range(20):
+            program, execution, _m = _run(threads, seed=seed, initial={0: 0})
+            report = measure_coverage(program, execution)
+            taken += report.branch_taken
+            not_taken += report.branch_not_taken
+        assert taken > 0 and not_taken > 0
+
+    def test_failed_cas_is_its_own_bucket(self):
+        from repro.model.ops import ICas
+
+        p0 = [IStore(addr=0) for _ in range(10)]
+        p1 = [ILoad(addr=0), ICas(addr=0, size=4, compare_from=0)]
+        for seed in range(30):
+            program, execution, _m = _run([p0, p1], seed=seed)
+            report = measure_coverage(program, execution)
+            if report.instr_counts.get("cas_fail"):
+                return
+        pytest.skip("no failing CAS in 30 seeds")
+
+    def test_multiword_access_touches_every_word(self):
+        program, execution, _m = _run([[IStore(addr=0, size=16)]])
+        report = measure_coverage(program, execution)
+        assert report.words_touched == 4
+
+
+class TestMachineMetrics:
+    def test_machine_counters_merged(self):
+        program, execution, machine = golden_run(seed=50)
+        report = measure_coverage(program, execution, machine)
+        assert report.machine["commits"] > 0
+        assert report.machine["memory_reads"] >= 0
+        assert len(report.machine["buffer_highwater"]) == program.nprocs
+
+    def test_forwarding_counted(self):
+        program, execution, machine = _run(
+            [[IStore(addr=0), ILoad(addr=0)]],
+            config=MachineConfig(drain_bias=0.0),
+        )
+        report = measure_coverage(program, execution, machine)
+        assert report.machine["forwards"] == 1
+
+    def test_buffer_highwater_reflects_bursts(self):
+        stores = [IStore(addr=i * 4) for i in range(6)]
+        program, execution, machine = _run(
+            [stores], config=MachineConfig(drain_bias=0.0, buffer_capacity=8)
+        )
+        report = measure_coverage(program, execution, machine)
+        assert report.machine["buffer_highwater"][0] == 6
+
+    def test_without_machine_metrics_absent(self):
+        program, execution, _machine = golden_run(seed=51)
+        report = measure_coverage(program, execution)
+        assert report.machine == {}
+
+
+class TestRendering:
+    def test_render_mentions_key_lines(self):
+        program, execution, machine = golden_run(seed=52)
+        text = measure_coverage(program, execution, machine).render()
+        assert "instruction mix" in text
+        assert "write-shared words" in text
+        assert "machine.forwards" in text
+
+    def test_intense_sharing_config_actually_shares(self):
+        # The defaults must produce the "intense sharing" the paper wants:
+        # most shared words written by several CPUs.
+        config = GeneratorConfig(nprocs=4, ops_per_proc=80, shared_words=6)
+        program = generate_program(config, seed=1)
+        machine = TsoMachine(program, seed=1)
+        execution = machine.run()
+        report = measure_coverage(program, execution, machine)
+        assert report.write_shared_words >= 4
+        assert report.race_pairs >= 10

@@ -1,0 +1,99 @@
+"""Tests for the failing-trace minimizer."""
+
+import pytest
+
+from repro.analysis.minimize import (
+    MinimizationResult,
+    minimize_failure,
+    render_minimized,
+)
+from repro.core.api import check, check_execution
+from repro.core.result import ViolationKind
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.model.program import parse_litmus
+from repro.sim.faults import StoreBufferReorderFault
+from repro.sim.machine import TsoMachine
+
+
+def _failing_run(seed_start=0):
+    config = GeneratorConfig(nprocs=4, ops_per_proc=80, shared_words=6)
+    for seed in range(seed_start, seed_start + 60):
+        program = generate_program(config, seed=seed)
+        machine = TsoMachine(
+            program, seed=seed, faults=[StoreBufferReorderFault(rate=0.5)]
+        )
+        execution = machine.run()
+        result = check(program, execution)
+        if not result.ok and result.violation.kind == ViolationKind.CYCLE:
+            return program, execution
+    pytest.fail("no failing run found")
+
+
+class TestMinimizeFailure:
+    @pytest.fixture(scope="class")
+    def minimized(self):
+        program, execution = _failing_run()
+        return program, execution, minimize_failure(
+            execution, initial=program.initial
+        )
+
+    def test_still_fails_with_cycle(self, minimized):
+        program, _execution, result = minimized
+        verdict = check_execution(result.execution, initial=program.initial)
+        assert not verdict.ok
+        assert verdict.violation.kind == ViolationKind.CYCLE
+
+    def test_substantial_shrinkage(self, minimized):
+        _program, execution, result = minimized
+        assert result.minimized_records < execution.total_records() // 4
+
+    def test_one_minimality(self, minimized):
+        # Removing any single remaining record must break the failure
+        # (or turn it into a non-cycle failure).
+        from repro.analysis.minimize import _fails_with_cycle
+        from repro.core.policy import TSO
+
+        program, _execution, result = minimized
+        records = result.execution.records
+        for pid, proc in enumerate(records):
+            for idx in range(len(proc)):
+                candidate = [list(p) for p in records]
+                del candidate[pid][idx]
+                assert _fails_with_cycle(candidate, program.initial, TSO) is None, (
+                    f"record P{pid}[{idx}] is removable"
+                )
+
+    def test_accounting(self, minimized):
+        _program, execution, result = minimized
+        assert result.original_records == execution.total_records()
+        assert result.checks_run > 0
+
+    def test_render(self, minimized):
+        _program, _execution, result = minimized
+        text = render_minimized(result)
+        assert "minimal failing core" in text
+        assert "FAIL" in text
+
+
+class TestEdgeCases:
+    def test_passing_trace_rejected(self):
+        program, execution = parse_litmus("P0: S[A]#1 ; L[A]=1")
+        with pytest.raises(ValueError, match="does not fail"):
+            minimize_failure(execution, initial=program.initial)
+
+    def test_already_minimal_litmus_unchanged_in_size(self):
+        # CoRR is already a 4-record minimal core.
+        program, execution = parse_litmus(
+            "P0: S[A]#1 ; S[A]#2\nP1: L[A]=2 ; L[A]=1"
+        )
+        result = minimize_failure(execution, initial=program.initial)
+        assert result.minimized_records == 4
+
+    def test_budget_exhaustion_still_returns_failing_trace(self):
+        program, execution = _failing_run(seed_start=100)
+        result = minimize_failure(
+            execution, initial=program.initial, max_checks=5
+        )
+        verdict = check_execution(result.execution, initial=program.initial)
+        assert not verdict.ok

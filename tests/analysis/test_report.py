@@ -1,0 +1,56 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.analysis.report import ReportConfig, build_report
+from repro.sim import cpus
+
+
+@pytest.fixture(scope="module")
+def report(monkeypatch_module=None):
+    # A down-scaled report: one CPU's roster and tiny sweeps keep this
+    # test in seconds while exercising every section builder.
+    config = ReportConfig(
+        tests_per_bug=10,
+        fig8_procs=(2, 4),
+        fig9_words=(4, 16),
+        ops_points=(100, 200),
+        ablation_ops=200,
+    )
+    return build_report(config)
+
+
+class TestReport:
+    def test_all_sections_present(self, report):
+        for heading in (
+            "# TSOtool reproduction report",
+            "## Litmus conformance",
+            "## Tables 1 and 2",
+            "## Figures 8 and 9",
+            "## Engine ablation",
+        ):
+            assert heading in report
+
+    def test_litmus_table_has_no_mismatches(self, report):
+        assert "0 mismatches" in report
+        assert "(!)" not in report
+
+    def test_campaign_totals_reported(self, report):
+        assert "106/106 seeded bugs" in report
+        assert "missed:" not in report
+
+    def test_tables_render_paper_shape(self, report):
+        assert "Architecture" in report and "Interconnect" in report
+        assert "Total  7             69      25       5" in report
+
+    def test_runtime_series_rows(self, report):
+        assert "procs=2" in report and "procs=4" in report
+        assert "words=4" in report and "words=16" in report
+
+    def test_speedup_reported(self, report):
+        assert "speedup:" in report
+        assert "identical verdicts" in report
+
+    def test_is_valid_markdown_table_header(self, report):
+        line = next(l for l in report.splitlines() if l.startswith("| case |"))
+        assert line.count("|") >= 5

@@ -1,0 +1,60 @@
+"""Unit tests for the Sec. 5.2 reproduction study harness."""
+
+import pytest
+
+from repro.analysis.repro_study import (
+    ReproductionPoint,
+    reproduction_study,
+    sweep_reproduction,
+)
+from repro.sim.faults import StaleForwardFault, StoreBufferReorderFault
+
+
+class TestReproductionStudy:
+    def test_finds_failures_and_reports_rate(self):
+        point = reproduction_study(
+            StoreBufferReorderFault, rate=0.5, ops_per_proc=60,
+            failures=3, reruns=5,
+        )
+        assert point is not None
+        assert point.failures_found == 3
+        assert 0.0 <= point.reproduction_rate <= 1.0
+        assert point.mechanism == "StoreBufferReorderFault"
+
+    def test_zero_rate_fault_finds_nothing(self):
+        point = reproduction_study(
+            StoreBufferReorderFault, rate=0.0, ops_per_proc=40,
+            failures=2, reruns=3, search_budget=10,
+        )
+        assert point is None
+
+    def test_deterministic(self):
+        kwargs = dict(rate=0.5, ops_per_proc=50, failures=2, reruns=4)
+        a = reproduction_study(StaleForwardFault, **kwargs)
+        b = reproduction_study(StaleForwardFault, **kwargs)
+        assert a.reproduction_rate == b.reproduction_rate
+        assert a.search_tests == b.search_tests
+
+    def test_highly_deterministic_bug_reproduces_reliably(self):
+        # A stale-forward bug at rate 1.0 fires on the first forwarding
+        # opportunity of any run: reproduction should be near-certain.
+        point = reproduction_study(
+            StaleForwardFault, rate=1.0, ops_per_proc=60,
+            failures=3, reruns=6,
+        )
+        assert point.reproduction_rate >= 0.9
+
+    def test_sweep_collects_all_cells(self):
+        points = sweep_reproduction(
+            [(StoreBufferReorderFault, 0.5)], ops_points=(40, 80),
+            failures=2, reruns=3,
+        )
+        assert [p.ops_per_proc for p in points] == [40, 80]
+
+    def test_row_rendering(self):
+        point = ReproductionPoint(
+            mechanism="X", ops_per_proc=50, failures_found=3,
+            reruns_per_failure=10, reproduction_rate=0.5, search_tests=20,
+        )
+        row = point.row()
+        assert "ops=50" in row and "50.0%" in row

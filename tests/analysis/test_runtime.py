@@ -1,0 +1,70 @@
+"""Tests for the Fig. 8/9 runtime-measurement harness."""
+
+import pytest
+
+from repro.analysis.runtime import (
+    RuntimePoint,
+    format_series,
+    measure_runtime,
+    sweep_runtime,
+)
+
+
+class TestMeasureRuntime:
+    def test_point_fields(self):
+        point = measure_runtime(nprocs=2, shared_words=8, total_ops=80, seed=1)
+        assert point.nprocs == 2
+        assert point.shared_words == 8
+        assert point.total_ops == 80
+        assert point.nodes > 80  # expansion splits multi-word ops, adds roots
+        assert point.edges > 0
+        assert point.iterations >= 1
+        assert point.seconds > 0
+
+    def test_ops_split_across_processors(self):
+        point = measure_runtime(nprocs=4, shared_words=8, total_ops=100, seed=1)
+        # 25 instructions per CPU, each at least one node.
+        assert point.nodes >= 100
+
+    def test_baseline_engine_supported(self):
+        point = measure_runtime(
+            nprocs=2, shared_words=4, total_ops=60, seed=2, engine="baseline"
+        )
+        assert point.seconds > 0
+
+    def test_repeats_take_minimum(self):
+        a = measure_runtime(nprocs=2, shared_words=4, total_ops=60, seed=3, repeats=3)
+        assert a.seconds > 0
+
+    def test_row_rendering(self):
+        point = RuntimePoint(
+            nprocs=4, shared_words=16, total_ops=1000, nodes=1200,
+            edges=3000, iterations=3, seconds=0.5,
+        )
+        row = point.row()
+        assert "procs=4" in row and "ops=1000" in row and "ms" in row
+
+
+class TestSweep:
+    def test_cartesian_sweep_shape(self):
+        points = sweep_runtime(
+            proc_counts=[2, 4], word_counts=[4], ops_points=[40, 80], seed=0
+        )
+        assert len(points) == 4
+        assert {(p.nprocs, p.total_ops) for p in points} == {
+            (2, 40), (2, 80), (4, 40), (4, 80),
+        }
+
+    def test_runtime_grows_with_ops(self):
+        points = sweep_runtime(
+            proc_counts=[4], word_counts=[8], ops_points=[100, 800], seed=1
+        )
+        assert points[1].seconds > points[0].seconds
+
+    def test_format_series(self):
+        points = sweep_runtime(
+            proc_counts=[2], word_counts=[4], ops_points=[40], seed=0
+        )
+        text = format_series(points, "title")
+        assert text.splitlines()[0] == "title"
+        assert len(text.splitlines()) == 2

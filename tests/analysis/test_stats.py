@@ -1,0 +1,116 @@
+"""Tests for the campaign statistics module."""
+
+import math
+
+import pytest
+
+from repro.analysis.campaign import BugHunt, CampaignResult
+from repro.analysis.stats import (
+    LatencySummary,
+    bootstrap_detection_rate,
+    detection_latency,
+    latency_by_mechanism,
+    latency_by_unit,
+    render_campaign_stats,
+)
+from repro.sim.cpus import BugSpec
+from repro.sim.faults import BugClass, FuncUnit, StaleForwardFault, TlbAliasFault
+
+
+def _hunt(name, mechanism, unit, detected, tests_run):
+    spec = BugSpec(name=name, mechanism=mechanism, unit=unit,
+                   bug_class=BugClass.DESIGN)
+    return BugHunt(spec=spec, cpu="CPUX", detected=detected,
+                   tests_run=tests_run)
+
+
+@pytest.fixture
+def hunts():
+    return [
+        _hunt("a", StaleForwardFault, FuncUnit.LSU, True, 1),
+        _hunt("b", StaleForwardFault, FuncUnit.LSU, True, 3),
+        _hunt("c", TlbAliasFault, FuncUnit.TLB, True, 5),
+        _hunt("d", TlbAliasFault, FuncUnit.TLB, False, 10),
+    ]
+
+
+class TestDetectionLatency:
+    def test_summary_values(self, hunts):
+        summary = detection_latency(hunts)
+        assert summary.count == 4
+        assert summary.detected == 3
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.median == pytest.approx(3.0)
+        assert summary.maximum == 5
+
+    def test_p90_interpolates(self, hunts):
+        summary = detection_latency(hunts)
+        assert 3.0 <= summary.p90 <= 5.0
+
+    def test_empty_and_undetected(self):
+        empty = detection_latency([])
+        assert empty.count == 0 and math.isnan(empty.mean)
+        censored = detection_latency(
+            [_hunt("x", TlbAliasFault, FuncUnit.TLB, False, 8)]
+        )
+        assert censored.detected == 0 and math.isnan(censored.median)
+
+    def test_row_rendering(self, hunts):
+        assert "mean= 3.00" in detection_latency(hunts).row()
+
+
+class TestGroupings:
+    def test_by_mechanism(self, hunts):
+        groups = latency_by_mechanism(CampaignResult(hunts=hunts))
+        assert set(groups) == {"StaleForwardFault", "TlbAliasFault"}
+        assert groups["StaleForwardFault"].detected == 2
+        assert groups["TlbAliasFault"].detected == 1
+
+    def test_by_unit(self, hunts):
+        groups = latency_by_unit(CampaignResult(hunts=hunts))
+        assert groups["LSU"].mean == pytest.approx(2.0)
+        assert groups["TLB"].count == 2
+
+
+class TestBootstrap:
+    def test_degenerate_inputs(self):
+        rate, low, high = bootstrap_detection_rate(0, 0)
+        assert math.isnan(rate) and math.isnan(low) and math.isnan(high)
+
+    def test_certain_rates_have_tight_intervals(self):
+        rate, low, high = bootstrap_detection_rate(50, 50)
+        assert rate == 1.0 and low == 1.0 and high == 1.0
+
+    def test_interval_brackets_rate(self):
+        rate, low, high = bootstrap_detection_rate(30, 40, seed=1)
+        assert low <= rate <= high
+        assert 0.0 <= low < high <= 1.0
+
+    def test_deterministic(self):
+        a = bootstrap_detection_rate(7, 10, seed=5)
+        b = bootstrap_detection_rate(7, 10, seed=5)
+        assert a == b
+
+    def test_more_trials_tighten_the_interval(self):
+        _r1, low1, high1 = bootstrap_detection_rate(7, 10, seed=2)
+        _r2, low2, high2 = bootstrap_detection_rate(700, 1000, seed=2)
+        assert (high2 - low2) < (high1 - low1)
+
+
+class TestRendering:
+    def test_full_block(self, hunts):
+        text = render_campaign_stats(CampaignResult(hunts=hunts))
+        assert "by mechanism" in text
+        assert "StaleForwardFault" in text
+        assert "detection rate" in text
+        assert "CI" in text
+
+    def test_on_a_real_campaign(self):
+        from repro.analysis.campaign import CampaignConfig, run_campaign
+        from repro.sim.cpus import cpu_by_name
+
+        result = run_campaign(
+            cpus=[cpu_by_name("CPU1")], config=CampaignConfig(tests_per_bug=8)
+        )
+        text = render_campaign_stats(result)
+        assert "detection rate     100.0%" in text

@@ -1,0 +1,72 @@
+"""Tests for the coverage-guided generator tuner."""
+
+import pytest
+
+from repro.analysis.coverage import CoverageReport
+from repro.analysis.tuning import (
+    TuningResult,
+    atomic_contention_objective,
+    race_pair_objective,
+    tune,
+)
+from repro.generator.config import GeneratorConfig, InstructionMix
+
+
+class TestObjectives:
+    def test_race_pair_objective_normalizes_by_ops(self):
+        report = CoverageReport(
+            instr_counts={"load": 10, "store": 10}, race_pairs=5
+        )
+        assert race_pair_objective(report) == 5 / 20
+
+    def test_race_pair_objective_empty_report(self):
+        assert race_pair_objective(CoverageReport()) == 0.0
+
+    def test_atomic_objective_counts_contention_and_failed_cas(self):
+        report = CoverageReport(
+            instr_counts={"cas_fail": 3}, atomic_contended_words=2
+        )
+        # 2 contended words x 10 + 3 failed CAS + 0.1 x 3 atomic ops.
+        assert atomic_contention_objective(report) == pytest.approx(23.3)
+
+    def test_atomic_objective_smooth_term_rewards_mere_atomics(self):
+        # No contention yet, but atomics present: nonzero gradient.
+        quiet = CoverageReport(instr_counts={"swap": 4, "cas_ok": 1})
+        assert atomic_contention_objective(quiet) == pytest.approx(0.5)
+
+
+class TestTune:
+    def test_never_worse_than_baseline(self):
+        result = tune(rounds=6, seeds_per_eval=2, seed=1)
+        assert result.best_score >= result.baseline_score
+        assert result.improvement >= 1.0
+
+    def test_deterministic(self):
+        a = tune(rounds=5, seeds_per_eval=2, seed=3)
+        b = tune(rounds=5, seeds_per_eval=2, seed=3)
+        assert a.best_score == b.best_score
+        assert a.best_config == b.best_config
+
+    def test_history_monotone_nondecreasing(self):
+        result = tune(rounds=8, seeds_per_eval=2, seed=4)
+        scores = [score for _round, score in result.history]
+        assert scores == sorted(scores)
+
+    def test_tuning_toward_atomic_contention_raises_atomic_weights(self):
+        # Starting from a mix with almost no atomics, the tuner should
+        # find a configuration scoring far better on atomic contention.
+        base = GeneratorConfig(
+            nprocs=4, ops_per_proc=60, shared_words=16,
+            mix=InstructionMix(load=40, store=40, swap=0.2, cas=0.2),
+        )
+        result = tune(
+            base=base, objective=atomic_contention_objective,
+            rounds=25, seeds_per_eval=2, seed=7,
+        )
+        assert result.improvement > 1.5
+
+    def test_result_fields(self):
+        result = tune(rounds=3, seeds_per_eval=1, seed=9)
+        assert isinstance(result, TuningResult)
+        assert result.evaluations >= 1
+        assert isinstance(result.best_config, GeneratorConfig)

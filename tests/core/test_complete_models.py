@@ -1,0 +1,88 @@
+"""The complete decision procedure under SC and PSO, plus internals.
+
+``complete_check`` takes the same ordering policy as the polynomial
+checker; the SC case needs no special-casing of the Value axiom's
+store-buffer term because SC's store→load static edges force every own
+store to be placed before the loads that follow it — the buffer branch
+simply never fires.
+"""
+
+import pytest
+
+from repro.core.axioms import verify_witness
+from repro.core.complete import complete_check
+from repro.core.policy import PSO, SC, TSO
+from repro.generator.litmus import litmus_by_name
+from tests.util import litmus_aprog
+
+SB = litmus_by_name("SB").text
+MP = litmus_by_name("MP").text
+S_SHAPE = litmus_by_name("S").text
+
+
+class TestAcrossModels:
+    def test_sb_valid_tso_invalid_sc(self):
+        aprog = litmus_aprog(SB)
+        assert complete_check(aprog, model=TSO).valid is True
+        assert complete_check(aprog, model=SC).valid is False
+
+    def test_sb_witness_satisfies_tso_axioms(self):
+        aprog = litmus_aprog(SB)
+        result = complete_check(aprog, model=TSO)
+        assert verify_witness(aprog, result.witness, model=TSO) == []
+        # ...and that same witness must violate SC somewhere.
+        assert verify_witness(aprog, result.witness, model=SC) != []
+
+    def test_mp_invalid_tso_valid_pso(self):
+        aprog = litmus_aprog(MP)
+        assert complete_check(aprog, model=TSO).valid is False
+        result = complete_check(aprog, model=PSO)
+        assert result.valid is True
+        assert verify_witness(aprog, result.witness, model=PSO) == []
+
+    def test_s_shape_valid_only_under_pso(self):
+        aprog = litmus_aprog(S_SHAPE)
+        assert complete_check(aprog, model=TSO).valid is False
+        assert complete_check(aprog, model=PSO).valid is True
+
+    def test_store_forwarding_needs_the_buffer_term(self):
+        text = litmus_by_name("store-forwarding").text
+        aprog = litmus_aprog(text)
+        assert complete_check(aprog, model=TSO).valid is True
+        assert complete_check(aprog, model=SC).valid is False
+
+
+class TestInternals:
+    def test_atomic_groups_collapse_to_units(self):
+        from repro.core.complete import _Search, _closure_constraints
+
+        aprog = litmus_aprog("init A=0\nP0: SWAP[A]=0,#1\nP1: L[A]=1")
+        flagged, reach_to = _closure_constraints(aprog, TSO)
+        assert not flagged
+        search = _Search(aprog, reach_to, max_states=1000)
+        # swap (2 ops) is one unit; the load is another; roots separate.
+        assert len(search.units) == 2
+        assert sorted(len(u) for u in search.units) == [1, 2]
+
+    def test_witness_places_roots_first(self):
+        aprog = litmus_aprog("P0: S[A]#1 ; L[A]=1\nP1: S[B]#2")
+        result = complete_check(aprog)
+        roots = set(aprog.roots.values())
+        assert set(result.witness[: len(roots)]) == roots
+
+    def test_explored_counter_grows_with_difficulty(self):
+        easy = complete_check(litmus_aprog("P0: S[A]#1 ; L[A]=1"))
+        hard = complete_check(litmus_aprog(litmus_by_name("fig5_mirrored").text))
+        assert hard.explored > easy.explored
+
+    def test_polynomial_flag_shortcuts_search(self):
+        # A poly-detected violation must return immediately (0 states).
+        aprog = litmus_aprog(litmus_by_name("fig3").text)
+        result = complete_check(aprog)
+        assert result.valid is False
+        assert result.explored == 0
+
+    def test_max_states_one_still_decides_trivial(self):
+        aprog = litmus_aprog("P0: S[A]#1")
+        result = complete_check(aprog, max_states=1)
+        assert result.decided and result.valid is True

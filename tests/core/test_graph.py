@@ -1,0 +1,124 @@
+"""Unit tests for the constraint graph: redirection, cycles, witnesses."""
+
+import pytest
+
+from repro.core.graph import ConstraintGraph, CycleDetected
+from repro.core.result import EdgeReason
+from tests.util import litmus_aprog
+
+R = EdgeReason("test")
+
+
+def _graph(text):
+    aprog = litmus_aprog(text)
+    return aprog, ConstraintGraph(aprog)
+
+
+class TestAddEdge:
+    def test_new_edge_returns_true_duplicate_false(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2")
+        assert g.add_edge(1, 2, R) is True
+        assert g.add_edge(1, 2, R) is False
+        assert g.edge_count == 1
+
+    def test_adjacency_both_directions(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2")
+        g.add_edge(1, 2, R)
+        assert 2 in g.succ[1]
+        assert 1 in g.pred[2]
+        assert g.has_edge(1, 2) and not g.has_edge(2, 1)
+
+    def test_reason_recorded(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2")
+        reason = EdgeReason("R4", "because")
+        g.add_edge(1, 2, reason)
+        assert g.reason_of(1, 2) is reason
+
+
+class TestAtomicRedirection:
+    def test_incoming_edge_lands_on_group_first(self):
+        # SWAP expands to [load; store] — an atomic group.
+        aprog, g = _graph("P0: S[A]#1\nP1: SWAP[A]=1,#2")
+        store = aprog.per_proc[0][0]
+        swap_load, swap_store = aprog.per_proc[1]
+        g.add_edge(store, swap_store, R)
+        assert g.has_edge(store, swap_load)
+        assert not g.has_edge(store, swap_store)
+
+    def test_outgoing_edge_leaves_from_group_last(self):
+        aprog, g = _graph("P0: S[A]#1\nP1: SWAP[A]=1,#2")
+        store = aprog.per_proc[0][0]
+        swap_load, swap_store = aprog.per_proc[1]
+        g.add_edge(swap_load, store, R)
+        assert g.has_edge(swap_store, store)
+
+    def test_intra_group_edge_not_redirected(self):
+        aprog, g = _graph("P0: SWAP[A]=0,#1")
+        swap_load, swap_store = aprog.per_proc[0]
+        g.add_edge(swap_load, swap_store, R)
+        assert g.has_edge(swap_load, swap_store)
+
+    def test_group_to_group_redirection(self):
+        aprog, g = _graph("P0: SWAP[A]=0,#1\nP1: SWAP[B]=0,#2")
+        a_load, a_store = aprog.per_proc[0]
+        b_load, b_store = aprog.per_proc[1]
+        g.add_edge(a_load, b_store, R)
+        # source -> last of A's group; dest -> first of B's group
+        assert g.has_edge(a_store, b_load)
+
+
+class TestCycles:
+    def test_acyclic_graph_has_no_cycle(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2 ; S[A]#3")
+        g.add_edge(0, 2, R)
+        g.add_edge(2, 3, R)
+        assert g.find_cycle() is None
+
+    def test_two_node_cycle_found(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2")
+        g.add_edge(1, 2, R)
+        g.add_edge(2, 1, R)
+        cycle = g.find_cycle()
+        assert cycle is not None and sorted(cycle) == [1, 2]
+
+    def test_longer_cycle_found(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2 ; S[A]#3 ; S[B]#4")
+        g.add_edge(1, 2, R)
+        g.add_edge(2, 3, R)
+        g.add_edge(3, 4, R)
+        g.add_edge(4, 1, R)
+        cycle = g.find_cycle()
+        assert cycle is not None and len(cycle) == 4
+
+    def test_cycle_through_edge_witness(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2 ; S[A]#3")
+        g.add_edge(1, 2, R)
+        g.add_edge(2, 3, R)
+        # Adding 3 -> 1 would close a cycle; build the witness for it.
+        cycle = g.cycle_through_edge(3, 1)
+        assert cycle == [1, 2, 3]
+
+    def test_cycle_through_edge_requires_path(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2")
+        with pytest.raises(ValueError):
+            g.cycle_through_edge(1, 2)
+
+    def test_shortest_path(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2 ; S[A]#3 ; S[B]#4")
+        g.add_edge(1, 2, R)
+        g.add_edge(2, 4, R)
+        g.add_edge(1, 3, R)
+        g.add_edge(3, 4, R)
+        path = g.shortest_path(1, 4)
+        assert path is not None and len(path) == 3 and path[0] == 1 and path[-1] == 4
+
+    def test_shortest_path_absent(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2")
+        assert g.shortest_path(1, 2) is None
+
+    def test_cycle_reasons_align_with_edges(self):
+        _, g = _graph("P0: S[A]#1 ; S[B]#2")
+        g.add_edge(1, 2, EdgeReason("R6"))
+        g.add_edge(2, 1, EdgeReason("R7"))
+        reasons = g.cycle_reasons([1, 2])
+        assert [r.rule for r in reasons] == ["R6", "R7"]

@@ -1,0 +1,66 @@
+"""Tests for the numpy bit-matrix engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import MatrixChecker, _bit, _row_members, _set_bit
+from repro.core.policy import SC, TSO
+from repro.core.result import ViolationKind
+from repro.generator.litmus import LITMUS_LIBRARY, litmus_by_name
+from tests.util import golden_run, litmus_aprog
+
+
+class TestBitHelpers:
+    def test_set_and_test_bits_across_word_boundaries(self):
+        matrix = np.zeros((2, 3), dtype=np.uint64)
+        for col in (0, 1, 63, 64, 65, 127, 130):
+            assert not _bit(matrix, 1, col)
+            _set_bit(matrix, 1, col)
+            assert _bit(matrix, 1, col)
+        assert not _bit(matrix, 0, 0)
+
+    def test_row_members_round_trip(self):
+        matrix = np.zeros((1, 4), dtype=np.uint64)
+        cols = [0, 5, 63, 64, 100, 200, 255]
+        for col in cols:
+            _set_bit(matrix, 0, col)
+        assert _row_members(matrix, 0, 256) == cols
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize(
+        "case", LITMUS_LIBRARY, ids=lambda c: c.name
+    )
+    def test_litmus_verdicts_match_expectations(self, case):
+        for model_name, expect_ok in case.expect.items():
+            model = {"TSO": TSO, "SC": SC}.get(model_name)
+            if model is None:
+                continue
+            result = MatrixChecker(model).run(litmus_aprog(case.text))
+            assert result.ok == expect_ok, (case.name, model_name)
+
+    def test_fig3_cycle_witness(self):
+        result = MatrixChecker().run(litmus_aprog(litmus_by_name("fig3").text))
+        assert not result.ok
+        assert result.violation.kind == ViolationKind.CYCLE
+        names = {result.aprog.describe(n) for n in result.violation.cycle}
+        assert "P0.0 S[B]#91" in names
+
+    def test_golden_run_passes(self):
+        program, execution, _machine = golden_run(seed=61)
+        from repro.core.api import check
+
+        assert check(program, execution, engine="matrix").ok
+
+    def test_graph_attached_for_debug(self):
+        result = MatrixChecker().run(litmus_aprog("P0: S[A]#1 ; L[A]=1"))
+        assert result.graph is not None
+        assert "node" in result.dump_graph()
+
+    def test_stats_populated(self):
+        result = MatrixChecker().run(
+            litmus_aprog("P0: S[A]#1 ; M ; L[B]=0\nP1: S[B]#1 ; M ; L[A]=0")
+        )
+        assert not result.ok
+        assert result.stats.static_edges > 0
+        assert result.stats.iterations >= 1

@@ -1,0 +1,143 @@
+"""The paper's worked examples, verified edge by edge.
+
+* Fig. 3/4 — the 4-processor outcome whose analysis infers edges E1–E10
+  and finds the S[B]#91 / S[B]#92 cycle.
+* Fig. 6 — the block-store vs swap write-cache bug.
+* Fig. 7 — the CAS atomicity bug.
+"""
+
+import pytest
+
+from repro.core.api import check_litmus
+from repro.core.checker import BaselineChecker
+from repro.core.closure import ClosureChecker
+from repro.core.graph import ConstraintGraph
+from repro.core.policy import TSO, static_edges
+from repro.core.checker import observed_edges
+from repro.core.result import EdgeReason, ViolationKind
+from repro.generator.litmus import litmus_by_name
+from tests.util import describe_map, litmus_aprog
+
+ENGINES = [BaselineChecker, ClosureChecker]
+
+FIG3 = litmus_by_name("fig3").text
+FIG6 = litmus_by_name("fig6").text
+FIG7 = litmus_by_name("fig7").text
+
+
+class TestFig3:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_violation_detected(self, engine):
+        result = engine().run(litmus_aprog(FIG3))
+        assert not result.ok
+        assert result.violation.kind == ViolationKind.CYCLE
+
+    def test_cycle_is_between_the_two_b_stores(self):
+        # The paper: "A cycle ... formed by edges E9 and E10 indicating a
+        # conflicting order between S[B]#91 and S[B]#92".  The closure
+        # engine stops at the first edge that closes a cycle, which is
+        # exactly the paper's E9/E10 pair; the baseline engine may report
+        # any of the equivalent cycles, so only the closure witness is
+        # pinned down here.
+        result = ClosureChecker().run(litmus_aprog(FIG3))
+        names = {result.aprog.describe(n) for n in result.violation.cycle}
+        assert "P0.0 S[B]#91" in names
+        assert "P2.0 S[B]#92" in names
+
+    def test_observed_edges_match_paper_e4_to_e8(self):
+        aprog = litmus_aprog(FIG3)
+        ids = describe_map(aprog)
+        edges = {(u, v) for u, v, _r, _rule in observed_edges(aprog)}
+        s_a1 = ids["P0.1 S[A]#1"]
+        s_a2 = ids["P1.0 S[A]#2"]
+        s_b91 = ids["P0.0 S[B]#91"]
+        s_b92 = ids["P2.0 S[B]#92"]
+        # E4..E7 (R4): each load is preceded by the store it observed.
+        assert (s_a2, ids["P0.2 L[A]=2"]) in edges
+        assert (s_a2, ids["P2.1 L[A]=2"]) in edges
+        assert (s_b92, ids["P3.0 L[B]=92"]) in edges
+        assert (s_b91, ids["P3.1 L[B]=91"]) in edges
+        # The paper: "rule R4 does not create an edge from S[B]#92 to
+        # L[B]=92 on [its own processor]".
+        assert (s_b92, ids["P2.2 L[B]=92"]) not in edges
+        # E8 (R5): P0's L[A]=2 after its own S[A]#1 orders S#1 <= S#2.
+        assert (s_a1, s_a2) in edges
+
+    def test_inferred_cycle_edges_use_r6(self):
+        result = ClosureChecker().run(litmus_aprog(FIG3))
+        rules = [r.rule for r in result.violation.reasons]
+        assert all(rule == "R6" for rule in rules)
+
+
+class TestFig6:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_violation_detected(self, engine):
+        result = engine().run(litmus_aprog(FIG6))
+        assert not result.ok
+
+    def test_paper_reasoning_edges(self):
+        # Rebuild the static+observed graph and verify the four relations
+        # of the paper's Sec. 5.1 walkthrough.
+        aprog = litmus_aprog(FIG6)
+        ids = describe_map(aprog)
+        bst = ids["P0.0 S[A]#1"]
+        swap_load = ids["P1.0 L[A]=1"]
+        swap_store = ids["P1.1 S[A]#2"]
+        ld = ids["P1.2 L[A]=1"]
+        graph = ConstraintGraph(aprog)
+        for u, v, rule in static_edges(aprog, TSO):
+            graph.add_edge(u, v, EdgeReason(rule))
+        for u, v, reason, _rule in observed_edges(aprog):
+            graph.add_edge(u, v, reason)
+        # SWAP <= LD (program order through the atomic group).
+        assert graph.has_edge(swap_load, swap_store)
+        assert graph.shortest_path(swap_store, ld) or graph.has_edge(swap_store, ld)
+        # BST <= SWAP and BST <= LD (rule R4; incoming edges land on the
+        # group's first node).
+        assert graph.has_edge(bst, swap_load)
+        assert graph.shortest_path(bst, ld) is not None
+        # SWAP <= BST (rule R5 on the BST-LD pair; outgoing edges leave
+        # from the group's last node).
+        assert graph.has_edge(swap_store, bst)
+        # Those relations alone already close the cycle.
+        assert graph.find_cycle() is not None
+
+
+class TestFig7:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_violation_detected(self, engine):
+        result = engine().run(litmus_aprog(FIG7))
+        assert not result.ok
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_passes_when_one_cas_fails(self, engine):
+        # If P1's CAS had failed (seen A=1 already), the outcome is legal.
+        text = """
+            init A=0 B=0
+            P0: CAS[A]=0,#1 ; L[B]=0
+            P1: CASF[B]=7
+            P2: S[B]#7
+        """
+        assert engine().run(litmus_aprog(text)).ok
+
+    def test_cycle_involves_both_cas_groups(self):
+        result = ClosureChecker().run(litmus_aprog(FIG7))
+        descs = {result.aprog.describe(n) for n in result.violation.cycle}
+        procs = {d.split(".")[0] for d in descs}
+        assert procs == {"P0", "P1"}
+
+
+class TestExplainRendering:
+    def test_explain_mentions_rules_and_operations(self):
+        result = check_litmus(FIG3)
+        text = result.explain()
+        assert "FAIL" in text
+        assert "S[B]#91" in text and "S[B]#92" in text
+        assert "R6" in text
+
+    def test_dot_output_marks_cycle(self):
+        result = check_litmus(FIG3)
+        dot = result.to_dot()
+        assert dot.startswith("digraph")
+        assert "color=red" in dot
+        assert "S[B]#91" in dot

@@ -1,0 +1,105 @@
+"""The Sec. 4 VSC→VTSO reduction, verified empirically.
+
+"Every instance of a VSC-read problem can be trivially mapped to an
+instance of the VTSO-read problem by inserting memory barriers after
+every store which is succeeded by a load in program order."
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.api import check, check_execution
+from repro.core.policy import SC, TSO
+from repro.core.reduction import fence_count, vsc_to_vtso
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.generator.litmus import LITMUS_LIBRARY
+from repro.model.ops import IMembar
+from repro.model.program import parse_litmus
+from repro.sim.machine import TsoMachine
+from tests.test_properties import _corrupt
+from tests.util import PLAIN_MIX
+
+
+class TestConstruction:
+    def test_fence_after_store_followed_by_load(self):
+        _program, execution = parse_litmus("P0: S[A]#1 ; L[B]=0")
+        transformed = vsc_to_vtso(execution)
+        kinds = [type(r.instr).__name__ for r in transformed.records[0]]
+        assert kinds == ["IStore", "IMembar", "ILoad"]
+
+    def test_no_fence_when_no_later_load(self):
+        _program, execution = parse_litmus("P0: L[A]=0 ; S[A]#1 ; S[B]#2")
+        transformed = vsc_to_vtso(execution)
+        assert not any(
+            isinstance(r.instr, IMembar) for r in transformed.records[0]
+        )
+
+    def test_swap_counts_as_store(self):
+        _program, execution = parse_litmus("P0: SWAP[A]=0,#1 ; L[B]=0")
+        transformed = vsc_to_vtso(execution)
+        kinds = [type(r.instr).__name__ for r in transformed.records[0]]
+        assert kinds == ["ISwap", "IMembar", "ILoad"]
+
+    def test_fence_count_metric(self):
+        _program, execution = parse_litmus(
+            "P0: S[A]#1 ; L[B]=0\nP1: S[B]#1 ; L[A]=0"
+        )
+        transformed = vsc_to_vtso(execution)
+        assert fence_count(execution, transformed) == 2
+
+    def test_original_untouched(self):
+        _program, execution = parse_litmus("P0: S[A]#1 ; L[B]=0")
+        before = [list(p) for p in execution.records]
+        vsc_to_vtso(execution)
+        assert execution.records == before
+
+
+class TestReductionTheorem:
+    def test_on_the_litmus_library(self):
+        # For every case with an SC expectation, SC(original) must equal
+        # TSO(transformed).
+        for case in LITMUS_LIBRARY:
+            if "SC" not in case.expect:
+                continue
+            program, execution = parse_litmus(case.text)
+            sc_verdict = check(program, execution, model=SC).ok
+            tso_verdict = check_execution(
+                vsc_to_vtso(execution),
+                initial=program.initial,
+                word_names=program.word_names,
+                model=TSO,
+            ).ok
+            assert sc_verdict == tso_verdict, case.name
+            assert sc_verdict == case.expect["SC"], case.name
+
+    def test_sb_is_the_canonical_witness(self):
+        # Store buffering: TSO-legal, SC-illegal; after the reduction the
+        # TSO checker rejects it too.
+        program, execution = parse_litmus(
+            "P0: S[A]#1 ; L[B]=0\nP1: S[B]#1 ; L[A]=0"
+        )
+        assert check(program, execution, model=TSO).ok
+        assert not check(program, execution, model=SC).ok
+        assert not check_execution(
+            vsc_to_vtso(execution), initial=program.initial, model=TSO
+        ).ok
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000), nprocs=st.integers(2, 4),
+           ops=st.integers(5, 30), words=st.integers(1, 6))
+    def test_equivalence_on_random_corrupted_runs(self, seed, nprocs, ops, words):
+        config = GeneratorConfig(
+            nprocs=nprocs, ops_per_proc=ops, shared_words=words, mix=PLAIN_MIX
+        )
+        program = generate_program(config, seed=seed)
+        execution = TsoMachine(program, seed=seed).run()
+        for trace in (execution, _corrupt(execution, seed)):
+            sc_verdict = check(program, trace, model=SC).ok
+            tso_verdict = check_execution(
+                vsc_to_vtso(trace),
+                initial=program.initial,
+                word_names=program.word_names,
+                model=TSO,
+            ).ok
+            assert sc_verdict == tso_verdict

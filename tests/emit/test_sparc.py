@@ -1,0 +1,159 @@
+"""Structural tests for the SPARC assembler backend."""
+
+import re
+
+import pytest
+
+from repro.emit.sparc import RESULT_BUFFER_SLOTS, EmitConfig, emit_sparc
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.model.ops import (
+    IBlockStore,
+    IBranch,
+    ICas,
+    ILoad,
+    IMembar,
+    IPrefetch,
+    IStore,
+    ISwap,
+    PrefetchVariant,
+)
+from repro.model.program import Program, Thread
+
+
+def _emit(threads, initial=None, config=None):
+    program = Program(threads=[Thread(t) for t in threads], initial=initial or {})
+    return emit_sparc(program, config)
+
+
+class TestModuleStructure:
+    def test_one_global_routine_per_thread(self):
+        asm = _emit([[ILoad(addr=0)], [IStore(addr=0)], [IMembar()]])
+        for pid in range(3):
+            assert f".global tsotool_thread_{pid}" in asm
+            assert f"tsotool_thread_{pid}:" in asm
+
+    def test_header_documents_conventions(self):
+        asm = _emit([[ILoad(addr=0)]])
+        assert "%i0 = shared base" in asm
+        assert "LFSR" in asm
+
+    def test_initial_values_annotated(self):
+        asm = _emit([[ILoad(addr=0)]], initial={0: 7, 4: 9})
+        assert "! init word +0x0 = 7" in asm
+        assert "! init word +0x4 = 9" in asm
+
+    def test_every_op_gets_a_label(self):
+        asm = _emit([[ILoad(addr=0), IStore(addr=4), IMembar()]])
+        for idx in range(3):
+            assert f".L0_op{idx}:" in asm
+
+    def test_routine_epilogue(self):
+        asm = _emit([[ILoad(addr=0)]])
+        assert "ret" in asm and "restore" in asm
+
+
+class TestInstructionMapping:
+    def test_load_opcodes_by_size(self):
+        asm = _emit([[ILoad(addr=0, size=4), ILoad(addr=8, size=8),
+                      ILoad(addr=16, size=16)]])
+        assert "lduw" in asm and "ldx " in asm and "ldq" in asm
+
+    def test_store_draws_from_integer_counter(self):
+        asm = _emit([[IStore(addr=0)]])
+        # Counter bump precedes the store of %l0.
+        assert asm.index("add     %l0, %l1, %l0") < asm.index("stw     %l0")
+
+    def test_multiword_store_bumps_counter_per_word(self):
+        asm = _emit([[IStore(addr=0, size=16)]])
+        assert asm.count("add     %l0, %l1, %l0") == 4
+
+    def test_swap_and_cas(self):
+        thread = [ISwap(addr=0), ILoad(addr=4), ICas(addr=4, size=4, compare_from=1)]
+        asm = _emit([thread])
+        assert "swap    [%i0 + 0]" in asm
+        assert "casa    [%i0 + 4]" in asm
+
+    def test_casx_for_8_byte(self):
+        thread = [ILoad(addr=8, size=8), ICas(addr=8, size=8, compare_from=0)]
+        asm = _emit([thread])
+        assert "casxa" in asm
+
+    def test_noncacheable_accesses_use_alternate_space(self):
+        asm = _emit([[ILoad(addr=0, cacheable=False),
+                      IStore(addr=4, cacheable=False)]])
+        assert "lduwa   [%i0 + 0] #ASI_REAL_IO, %g1" in asm
+        assert "stwa    %l0, [%i0 + 4] #ASI_REAL_IO" in asm
+
+    def test_membar(self):
+        asm = _emit([[IMembar()]])
+        assert "membar  #Sync" in asm
+
+    def test_block_store_uses_fp_counter_and_blk_asi(self):
+        asm = _emit([[IBlockStore(addr=0)]])
+        assert "faddd   %f2, %f4, %f2" in asm
+        assert "stda    %f32, [%i0 + 0] #ASI_BLK_P" in asm
+
+    def test_prefetch_function_codes(self):
+        weak = _emit([[IPrefetch(addr=0, variant=PrefetchVariant.READ_ONCE,
+                                 strong=False)]])
+        strong = _emit([[IPrefetch(addr=0, variant=PrefetchVariant.WRITE_MANY,
+                                   strong=True)]])
+        assert "prefetch [%i0 + 0], #0" in weak
+        assert "prefetch [%i0 + 0], #23" in strong
+
+    def test_branch_targets_resolved_label(self):
+        thread = [IBranch(skip=2), ILoad(addr=0), ILoad(addr=0), ILoad(addr=0)]
+        asm = _emit([thread])
+        assert "bne,pn  %icc, .L0_op3" in asm
+        assert re.search(r"xor\s+%l6, %l7, %l6", asm)  # LFSR feedback
+
+
+class TestResultBuffering:
+    def test_flush_after_buffer_fills(self):
+        loads = [ILoad(addr=0) for _ in range(RESULT_BUFFER_SLOTS)]
+        asm = _emit([loads])
+        assert "results buffer full" in asm
+        for slot in range(RESULT_BUFFER_SLOTS):
+            assert f"stx     %o{slot}, [%i1 + {slot * 8}]" in asm
+
+    def test_partial_buffer_flushed_at_end(self):
+        asm = _emit([[ILoad(addr=0), ILoad(addr=4)]])
+        assert "final results flush" in asm
+        assert "stx     %o1, [%i1 + 8]" in asm
+
+    def test_result_offsets_monotonic(self):
+        loads = [ILoad(addr=0) for _ in range(RESULT_BUFFER_SLOTS + 2)]
+        asm = _emit([loads])
+        offsets = [int(m) for m in re.findall(r"stx\s+%o\d, \[%i1 \+ (\d+)\]", asm)]
+        assert offsets == sorted(offsets)
+        assert len(offsets) == RESULT_BUFFER_SLOTS + 2
+
+
+class TestGeneratedPrograms:
+    def test_full_generator_output_emits(self):
+        mix = InstructionMix(
+            load=5, store=5, swap=5, cas=5, membar=5, block_load=5,
+            block_store=5, nonfaulting_load=5, prefetch=5, flush=5, branch=5,
+            interrupt=5,
+        )
+        config = GeneratorConfig(nprocs=4, ops_per_proc=120, shared_words=32,
+                                 mix=mix)
+        program = generate_program(config, seed=11)
+        asm = emit_sparc(program)
+        assert asm.count(".global") == 4
+        assert len(asm.splitlines()) > 400
+
+    def test_comments_can_be_disabled(self):
+        program = generate_program(
+            GeneratorConfig(nprocs=1, ops_per_proc=20), seed=0
+        )
+        dense = emit_sparc(program, EmitConfig(comment_ops=False))
+        commented = emit_sparc(program, EmitConfig(comment_ops=True))
+        assert len(dense) < len(commented)
+
+    def test_emission_deterministic(self):
+        program = generate_program(
+            GeneratorConfig(nprocs=2, ops_per_proc=30), seed=3
+        )
+        assert emit_sparc(program) == emit_sparc(program)

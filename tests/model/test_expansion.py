@@ -1,0 +1,202 @@
+"""Tests for the Sec. 3.3 expansion into word-sized analysis operations."""
+
+import pytest
+
+from repro.model.expansion import (
+    NO_GROUP,
+    AnalysisOp,
+    ExpansionError,
+    OpKind,
+    ROOT_PROC,
+    expand,
+)
+from repro.model.ops import (
+    IBlockStore,
+    IBranch,
+    ICas,
+    IFlushPipe,
+    ILoad,
+    IMembar,
+    INonFaultingLoad,
+    IPrefetch,
+    IStore,
+    ISwap,
+)
+from repro.model.trace import DynRecord, Execution
+from tests.util import litmus_aprog
+
+
+def _expand(records, initial=None):
+    return expand(Execution(records=[records]), initial=initial)
+
+
+class TestRootStores:
+    def test_one_root_per_address(self):
+        aprog = litmus_aprog("P0: S[A]#1 ; S[B]#2")
+        assert set(aprog.roots) == {0, 4}
+        for root_id in aprog.roots.values():
+            op = aprog.ops[root_id]
+            assert op.is_root and op.is_store and op.proc == ROOT_PROC
+
+    def test_roots_carry_initial_values(self):
+        aprog = litmus_aprog("init A=9\nP0: L[A]=9")
+        root = aprog.ops[aprog.roots[0]]
+        assert root.value == 9
+        assert aprog.map_value(0, 9) == root.id
+
+    def test_initial_only_address_gets_root(self):
+        aprog = expand(Execution(records=[[]]), initial={8: 3})
+        assert 8 in aprog.roots
+
+
+class TestScalarExpansion:
+    def test_multiword_load_becomes_grouped_word_ops(self):
+        aprog = _expand([DynRecord(instr=ILoad(addr=0, size=16), loaded=(0, 0, 0, 0))])
+        ops = [aprog.ops[i] for i in aprog.per_proc[0]]
+        assert len(ops) == 4
+        assert all(op.kind == OpKind.LOAD for op in ops)
+        assert len({op.group for op in ops}) == 1 and ops[0].group != NO_GROUP
+        assert [op.addr for op in ops] == [0, 4, 8, 12]
+
+    def test_single_word_ops_ungrouped(self):
+        aprog = _expand([DynRecord(instr=IStore(addr=0, size=4), stored=(7,))])
+        assert aprog.ops[aprog.per_proc[0][0]].group == NO_GROUP
+
+    def test_value_count_mismatch_rejected(self):
+        with pytest.raises(ExpansionError, match="expected 2"):
+            _expand([DynRecord(instr=ILoad(addr=0, size=8), loaded=(1,))])
+
+    def test_membar_becomes_membar_op(self):
+        aprog = _expand([DynRecord(instr=IMembar())])
+        op = aprog.ops[aprog.per_proc[0][0]]
+        assert op.kind == OpKind.MEMBAR and op.addr is None
+
+
+class TestAtomicExpansion:
+    def test_swap_is_load_then_store_in_one_group(self):
+        aprog = litmus_aprog("P0: SWAP[A]=0,#1")
+        load, store = (aprog.ops[i] for i in aprog.per_proc[0])
+        assert load.kind == OpKind.LOAD and store.kind == OpKind.STORE
+        assert load.group == store.group != NO_GROUP
+        assert aprog.group_first(store.id) == load.id
+        assert aprog.group_last(load.id) == store.id
+
+    def test_successful_cas_resolves_to_swap(self):
+        # Sec. 3.3: "If the CAS completed, the instruction is converted
+        # to a swap of the same size".
+        aprog = litmus_aprog("P0: CAS[A]=0,#1")
+        kinds = [aprog.ops[i].kind for i in aprog.per_proc[0]]
+        # companion load + cas-load + cas-store
+        assert kinds == [OpKind.LOAD, OpKind.LOAD, OpKind.STORE]
+        cas_load, cas_store = aprog.ops[aprog.per_proc[0][1]], aprog.ops[aprog.per_proc[0][2]]
+        assert cas_load.group == cas_store.group != NO_GROUP
+
+    def test_failed_cas_resolves_to_plain_load(self):
+        # "...else it is converted to a regular load."
+        aprog = litmus_aprog("P0: CASF[A]=0")
+        kinds = [aprog.ops[i].kind for i in aprog.per_proc[0]]
+        assert kinds == [OpKind.LOAD, OpKind.LOAD]
+        assert all(aprog.ops[i].group == NO_GROUP for i in aprog.per_proc[0])
+
+
+class TestBlockExpansion:
+    def test_block_store_becomes_eight_two_word_chunks(self):
+        values = tuple(range(100, 116))
+        aprog = _expand([DynRecord(instr=IBlockStore(addr=0), stored=values)])
+        ops = [aprog.ops[i] for i in aprog.per_proc[0]]
+        assert len(ops) == 16
+        groups = [op.group for op in ops]
+        assert len(set(groups)) == 8
+        for chunk in range(8):
+            assert groups[2 * chunk] == groups[2 * chunk + 1]
+        assert [op.value for op in ops] == list(values)
+
+
+class TestDroppedInstructions:
+    def test_prefetch_flush_branch_dropped(self):
+        aprog = _expand(
+            [
+                DynRecord(instr=IPrefetch(addr=0)),
+                DynRecord(instr=IFlushPipe()),
+                DynRecord(instr=IBranch(skip=1), taken=True),
+                DynRecord(instr=IStore(addr=0), stored=(5,)),
+            ]
+        )
+        assert len(aprog.per_proc[0]) == 1
+
+    def test_faulting_nonfaulting_load_checked_then_dropped(self):
+        aprog = _expand(
+            [
+                DynRecord(
+                    instr=INonFaultingLoad(addr=0, faulting=True),
+                    loaded=(0,), faulted=True,
+                )
+            ]
+        )
+        assert aprog.per_proc[0] == []
+        assert aprog.precheck_failures == []
+
+    def test_faulting_nonfaulting_load_nonzero_flagged(self):
+        aprog = _expand(
+            [
+                DynRecord(
+                    instr=INonFaultingLoad(addr=0, faulting=True),
+                    loaded=(3,), faulted=True,
+                )
+            ]
+        )
+        codes = [code for code, _ in aprog.precheck_failures]
+        assert codes == ["nonfaulting"]
+
+    def test_valid_nonfaulting_load_becomes_regular_load(self):
+        aprog = _expand(
+            [
+                DynRecord(instr=IStore(addr=0), stored=(5,)),
+                DynRecord(
+                    instr=INonFaultingLoad(addr=0, faulting=False),
+                    loaded=(5,), faulted=False,
+                ),
+            ]
+        )
+        kinds = [aprog.ops[i].kind for i in aprog.per_proc[0]]
+        assert kinds == [OpKind.STORE, OpKind.LOAD]
+
+
+class TestValueMap:
+    def test_map_value_resolves_stores(self):
+        aprog = litmus_aprog("P0: S[A]#5\nP1: L[A]=5")
+        store_id = aprog.per_proc[0][0]
+        assert aprog.map_value(0, 5) == store_id
+
+    def test_unmapped_load_recorded_as_precheck_failure(self):
+        aprog = litmus_aprog("P0: L[A]=1234")
+        codes = [code for code, _ in aprog.precheck_failures]
+        assert codes == ["unmapped"]
+
+    def test_duplicate_store_value_same_address_rejected(self):
+        with pytest.raises(ExpansionError, match="unique-store-value"):
+            litmus_aprog("P0: S[A]#1 ; S[A]#1")
+
+    def test_same_value_different_addresses_allowed(self):
+        aprog = litmus_aprog("P0: S[A]#1 ; S[B]#1")
+        assert aprog.map_value(0, 1) != aprog.map_value(4, 1)
+
+    def test_store_colliding_with_initial_value_rejected(self):
+        with pytest.raises(ExpansionError, match="unique-store-value"):
+            litmus_aprog("P0: S[A]#0")
+
+    def test_readers_maps_stores_to_observing_loads(self):
+        aprog = litmus_aprog("P0: S[A]#5\nP1: L[A]=5 ; L[A]=5")
+        readers = aprog.readers()
+        store_id = aprog.per_proc[0][0]
+        assert sorted(readers[store_id]) == sorted(aprog.per_proc[1])
+
+
+class TestDescribe:
+    def test_describe_formats(self):
+        aprog = litmus_aprog("P0: S[A]#5 ; L[A]=5 ; M")
+        s, l, m = aprog.per_proc[0]
+        assert aprog.describe(s) == "P0.0 S[A]#5"
+        assert aprog.describe(l) == "P0.1 L[A]=5"
+        assert aprog.describe(m) == "P0.2 MEMBAR"
+        assert aprog.describe(aprog.roots[0]) == "init[A]#0"

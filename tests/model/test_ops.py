@@ -1,0 +1,105 @@
+"""Unit tests for the instruction vocabulary."""
+
+import pytest
+
+from repro.model.ops import (
+    BLOCK_SIZE,
+    WORD_SIZE,
+    IBlockLoad,
+    IBlockStore,
+    IBranch,
+    ICas,
+    IFlushCache,
+    IFlushPipe,
+    ILoad,
+    IMembar,
+    INonFaultingLoad,
+    IPrefetch,
+    IStore,
+    ISwap,
+    PrefetchVariant,
+)
+
+
+class TestAlignmentAndSizes:
+    def test_load_sizes(self):
+        for size in (4, 8, 16):
+            assert ILoad(addr=0, size=size).words() == size // WORD_SIZE
+
+    def test_load_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ILoad(addr=0, size=2)
+        with pytest.raises(ValueError):
+            ILoad(addr=0, size=32)
+
+    def test_load_rejects_unaligned_address(self):
+        with pytest.raises(ValueError):
+            ILoad(addr=2, size=4)
+        with pytest.raises(ValueError):
+            ILoad(addr=4, size=8)  # 8-byte access must be 8-aligned
+
+    def test_store_natural_alignment(self):
+        IStore(addr=16, size=16)
+        with pytest.raises(ValueError):
+            IStore(addr=8, size=16)
+
+    def test_swap_sizes_limited_to_4_and_8(self):
+        ISwap(addr=0, size=4)
+        ISwap(addr=8, size=8)
+        with pytest.raises(ValueError):
+            ISwap(addr=0, size=16)
+
+    def test_block_ops_require_64_byte_alignment(self):
+        IBlockLoad(addr=64)
+        IBlockStore(addr=128)
+        with pytest.raises(ValueError):
+            IBlockLoad(addr=32)
+        assert IBlockStore(addr=0).words() == BLOCK_SIZE // WORD_SIZE
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            ILoad(addr=-4)
+
+
+class TestCas:
+    def test_cas_requires_prior_load_index(self):
+        ICas(addr=0, size=4, compare_from=0)
+        with pytest.raises(ValueError):
+            ICas(addr=0, size=4, compare_from=-1)
+
+
+class TestBranch:
+    def test_branch_skip_must_be_positive(self):
+        IBranch(skip=1)
+        with pytest.raises(ValueError):
+            IBranch(skip=0)
+
+
+class TestMiscInstructions:
+    def test_membar_and_flushes_touch_no_words(self):
+        assert IMembar().words() == 0
+        assert IFlushPipe().words() == 0
+        assert IFlushCache(addr=0).words() == 0
+        assert IPrefetch(addr=0).words() == 0
+
+    def test_nonfaulting_load_flags(self):
+        instr = INonFaultingLoad(addr=0, size=8, faulting=True)
+        assert instr.faulting and instr.words() == 2
+
+    def test_mnemonics_are_distinct_and_informative(self):
+        instrs = [
+            ILoad(addr=4), IStore(addr=4), ISwap(addr=4),
+            ICas(addr=4, size=4, compare_from=0), IMembar(),
+            IBlockLoad(addr=0), IBlockStore(addr=0),
+            IPrefetch(addr=0, variant=PrefetchVariant.WRITE_MANY, strong=True),
+            INonFaultingLoad(addr=0, faulting=True),
+            IFlushCache(addr=0), IFlushPipe(), IBranch(skip=2),
+        ]
+        mnemonics = [i.mnemonic() for i in instrs]
+        assert len(set(mnemonics)) == len(mnemonics)
+
+    def test_instructions_hashable_and_frozen(self):
+        instr = ILoad(addr=4)
+        assert hash(instr) == hash(ILoad(addr=4))
+        with pytest.raises(Exception):
+            instr.addr = 8  # frozen dataclass

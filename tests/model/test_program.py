@@ -1,0 +1,139 @@
+"""Tests for programs, validation, and the litmus notation parser."""
+
+import pytest
+
+from repro.model.ops import IBranch, ICas, ILoad, IMembar, IStore, ISwap
+from repro.model.program import (
+    LitmusError,
+    Program,
+    Thread,
+    format_program,
+    parse_litmus,
+)
+
+
+class TestProgram:
+    def test_addresses_cover_multiword_accesses(self):
+        program = Program(threads=[Thread([IStore(addr=0, size=16)])])
+        assert program.addresses() == {0, 4, 8, 12}
+
+    def test_addresses_include_initial(self):
+        program = Program(threads=[Thread()], initial={32: 5})
+        assert 32 in program.addresses()
+
+    def test_initial_value_defaults_to_zero(self):
+        program = Program(threads=[Thread()])
+        assert program.initial_value(0) == 0
+
+    def test_validate_accepts_well_formed_cas_pair(self):
+        thread = Thread()
+        idx = thread.append(ILoad(addr=0, size=4))
+        thread.append(ICas(addr=0, size=4, compare_from=idx))
+        Program(threads=[thread]).validate()
+
+    def test_validate_rejects_cas_without_matching_load(self):
+        thread = Thread()
+        thread.append(IStore(addr=0))
+        thread.append(ICas(addr=0, size=4, compare_from=0))
+        with pytest.raises(ValueError, match="compare_from"):
+            Program(threads=[thread]).validate()
+
+    def test_validate_rejects_cas_with_wrong_address(self):
+        thread = Thread()
+        thread.append(ILoad(addr=4, size=4))
+        thread.append(ICas(addr=0, size=4, compare_from=0))
+        with pytest.raises(ValueError):
+            Program(threads=[thread]).validate()
+
+    def test_validate_rejects_branch_past_end(self):
+        thread = Thread([IBranch(skip=2), ILoad(addr=0)])
+        with pytest.raises(ValueError, match="branch"):
+            Program(threads=[thread]).validate()
+
+    def test_name_of_falls_back_to_hex(self):
+        program = Program(threads=[Thread()], word_names={0: "A"})
+        assert program.name_of(0) == "A"
+        assert program.name_of(4) == "0x4"
+
+
+class TestLitmusParsing:
+    def test_store_and_load(self):
+        program, execution = parse_litmus("P0: S[A]#5 ; L[A]=5")
+        assert isinstance(program.threads[0].instrs[0], IStore)
+        assert isinstance(program.threads[0].instrs[1], ILoad)
+        recs = execution.records[0]
+        assert recs[0].stored == (5,)
+        assert recs[1].loaded == (5,)
+
+    def test_symbolic_addresses_allocated_in_order(self):
+        program, _ = parse_litmus("P0: S[A]#1 ; S[B]#2 ; S[C]#3")
+        assert program.word_names == {0: "A", 4: "B", 8: "C"}
+
+    def test_swap_notation(self):
+        program, execution = parse_litmus("P0: SWAP[A]=0,#1")
+        assert isinstance(program.threads[0].instrs[0], ISwap)
+        rec = execution.records[0][0]
+        assert rec.loaded == (0,) and rec.stored == (1,)
+
+    def test_cas_success_emits_companion_load(self):
+        program, execution = parse_litmus("P0: CAS[A]=0,#1")
+        instrs = program.threads[0].instrs
+        assert isinstance(instrs[0], ILoad) and isinstance(instrs[1], ICas)
+        assert instrs[1].compare_from == 0
+        assert execution.records[0][1].cas_ok is True
+
+    def test_cas_failure_notation(self):
+        _, execution = parse_litmus("P0: CASF[A]=9")
+        rec = execution.records[0][1]
+        assert rec.cas_ok is False and rec.stored is None
+
+    def test_membar_notation(self):
+        program, _ = parse_litmus("P0: S[A]#1 ; M ; MEMBAR")
+        kinds = [type(i) for i in program.threads[0].instrs]
+        assert kinds == [IStore, IMembar, IMembar]
+
+    def test_bst_is_store_synonym(self):
+        program, _ = parse_litmus("P0: BST[A]#1")
+        assert isinstance(program.threads[0].instrs[0], IStore)
+
+    def test_init_line(self):
+        program, _ = parse_litmus("init A=7 B=-1\nP0: L[A]=7")
+        assert program.initial == {0: 7, 4: -1}
+
+    def test_missing_processors_get_empty_threads(self):
+        program, execution = parse_litmus("P0: S[A]#1\nP3: L[A]=1")
+        assert program.nprocs == 4
+        assert len(program.threads[1]) == 0
+        assert execution.records[2] == []
+
+    def test_comment_and_blank_lines_ignored(self):
+        program, _ = parse_litmus("# header\n\nP0: S[A]#1\n")
+        assert program.nprocs == 1
+
+    def test_duplicate_processor_rejected(self):
+        with pytest.raises(LitmusError, match="duplicate"):
+            parse_litmus("P0: S[A]#1\nP0: S[A]#2")
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(LitmusError, match="unrecognized operation"):
+            parse_litmus("P0: FOO[A]#1")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(LitmusError, match="unrecognized line"):
+            parse_litmus("hello world")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(LitmusError, match="no processor"):
+            parse_litmus("# nothing here")
+
+    def test_negative_values_parse(self):
+        program, execution = parse_litmus("P0: S[A]#-3 ; L[A]=-3")
+        assert execution.records[0][0].stored == (-3,)
+
+
+class TestFormatting:
+    def test_format_round_trips_structure(self):
+        program, _ = parse_litmus("init A=1\nP0: S[A]#2 ; M ; L[A]=2")
+        text = format_program(program)
+        assert text.splitlines()[0] == "init A=1"
+        assert "P0:" in text and "MEMBAR" in text

@@ -1,0 +1,119 @@
+"""Tests for dynamic records and trace serialization (the Sec. 3.3
+standalone-analysis interface)."""
+
+import pytest
+
+from repro.model.ops import (
+    IBlockLoad,
+    IBlockStore,
+    IBranch,
+    ICas,
+    IFlushCache,
+    IFlushPipe,
+    ILoad,
+    IMembar,
+    INonFaultingLoad,
+    IPrefetch,
+    IStore,
+    ISwap,
+    PrefetchVariant,
+)
+from repro.model.trace import DynRecord, Execution
+from tests.util import golden_run
+
+
+def _roundtrip(execution: Execution) -> Execution:
+    return Execution.load(execution.dump())
+
+
+class TestDynRecord:
+    def test_with_loaded_replaces_values(self):
+        rec = DynRecord(instr=ILoad(addr=0), loaded=(1,))
+        edited = rec.with_loaded([2])
+        assert edited.loaded == (2,) and rec.loaded == (1,)
+
+    def test_records_are_frozen(self):
+        rec = DynRecord(instr=IMembar())
+        with pytest.raises(Exception):
+            rec.loaded = (1,)
+
+
+class TestExecutionAccounting:
+    def test_counts(self):
+        execution = Execution(
+            records=[
+                [
+                    DynRecord(instr=IStore(addr=0), stored=(1,)),
+                    DynRecord(instr=IMembar()),
+                    DynRecord(instr=ILoad(addr=0), loaded=(1,)),
+                ],
+                [DynRecord(instr=IBranch(skip=1), taken=True)],
+            ]
+        )
+        assert execution.nprocs == 2
+        assert execution.total_records() == 4
+        assert execution.memory_operations() == 2
+
+
+class TestSerializationRoundTrip:
+    def test_every_record_kind_round_trips(self):
+        records = [
+            DynRecord(instr=ILoad(addr=8, size=8), loaded=(1, 2)),
+            DynRecord(instr=IStore(addr=16, size=4), stored=(77,)),
+            DynRecord(instr=ISwap(addr=0, size=4), loaded=(0,), stored=(5,)),
+            DynRecord(
+                instr=ICas(addr=0, size=4, compare_from=0),
+                loaded=(5,), stored=(6,), cas_ok=True,
+            ),
+            DynRecord(
+                instr=ICas(addr=0, size=4, compare_from=2),
+                loaded=(9,), cas_ok=False,
+            ),
+            DynRecord(instr=IBlockStore(addr=0), stored=tuple(range(100, 116))),
+            DynRecord(instr=IBlockLoad(addr=64), loaded=tuple(range(16))),
+            DynRecord(
+                instr=INonFaultingLoad(addr=4096, size=4, faulting=True),
+                loaded=(0,), faulted=True,
+            ),
+            DynRecord(instr=IMembar()),
+            DynRecord(instr=IBranch(skip=3), taken=False),
+            DynRecord(
+                instr=IPrefetch(addr=4, variant=PrefetchVariant.READ_MANY, strong=True)
+            ),
+            DynRecord(instr=IFlushCache(addr=8)),
+            DynRecord(instr=IFlushPipe()),
+        ]
+        execution = Execution(records=[records])
+        reloaded = _roundtrip(execution)
+        assert reloaded.records == execution.records
+
+    def test_golden_run_round_trips(self):
+        _program, execution, _machine = golden_run(seed=5)
+        assert _roundtrip(execution).records == execution.records
+
+    def test_dump_has_header_and_one_line_per_record(self):
+        _program, execution, _machine = golden_run(seed=6)
+        lines = execution.dump().strip().splitlines()
+        assert lines[0].startswith("#")
+        assert len(lines) == 1 + execution.total_records()
+
+    def test_load_rejects_malformed_line(self):
+        with pytest.raises(ValueError, match="trace line"):
+            Execution.load("P0 LD addr=nonsense")
+
+    def test_load_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Execution.load("P0 XYZ addr=0")
+
+    def test_load_rejects_missing_pid(self):
+        with pytest.raises(ValueError):
+            Execution.load("LD addr=0 loaded=1")
+
+    def test_empty_trace_loads_empty_execution(self):
+        execution = Execution.load("# only a comment\n")
+        assert execution.nprocs == 0
+
+    def test_sparse_processor_ids(self):
+        execution = Execution.load("P2 MEMBAR")
+        assert execution.nprocs == 3
+        assert execution.records[0] == [] and len(execution.records[2]) == 1

@@ -1,0 +1,100 @@
+"""The six CPU rosters must reproduce the paper's tables by construction."""
+
+import pytest
+
+from repro.sim.cpus import CPU_CONFIGS, cpu_by_name
+from repro.sim.faults import BugClass, FuncUnit
+
+#: Table 1 of the paper: (architecture, design, monitor, environment).
+PAPER_TABLE1 = {
+    "CPU1": (0, 3, 0, 0),
+    "CPU2": (0, 4, 3, 0),
+    "CPU3": (0, 11, 8, 5),
+    "CPU4": (0, 17, 8, 0),
+    "CPU5": (2, 20, 5, 0),
+    "CPU6": (5, 14, 1, 0),
+}
+
+#: Table 2 of the paper: (Pipe, Caches, TLB, LSU, Mem Cntlr, Interconnect).
+PAPER_TABLE2 = {
+    "CPU1": (0, 3, 0, 0, 0, 0),
+    "CPU2": (1, 5, 0, 0, 1, 0),
+    "CPU3": (0, 17, 0, 0, 0, 2),
+    "CPU4": (0, 8, 0, 0, 8, 9),
+    "CPU5": (3, 11, 6, 4, 0, 1),
+    "CPU6": (0, 5, 0, 10, 0, 0),
+}
+
+CLASS_ORDER = (
+    BugClass.ARCHITECTURE, BugClass.DESIGN, BugClass.MONITOR, BugClass.ENVIRONMENT,
+)
+UNIT_ORDER = (
+    FuncUnit.PIPE, FuncUnit.CACHES, FuncUnit.TLB, FuncUnit.LSU,
+    FuncUnit.MEM_CNTLR, FuncUnit.INTERCONNECT,
+)
+
+
+@pytest.mark.parametrize("cpu", CPU_CONFIGS, ids=lambda c: c.name)
+def test_class_counts_match_table1(cpu):
+    counts = cpu.class_counts()
+    assert tuple(counts[c] for c in CLASS_ORDER) == PAPER_TABLE1[cpu.name]
+
+
+@pytest.mark.parametrize("cpu", CPU_CONFIGS, ids=lambda c: c.name)
+def test_unit_counts_match_table2(cpu):
+    counts = cpu.unit_counts()
+    assert tuple(counts[u] for u in UNIT_ORDER) == PAPER_TABLE2[cpu.name]
+
+
+def test_totals_match_paper():
+    # Table 1 totals: 7 / 69 / 25 / 5 (106 bugs); Table 2: 4/49/6/14/9/12.
+    class_totals = [0, 0, 0, 0]
+    unit_totals = [0] * 6
+    for cpu in CPU_CONFIGS:
+        for i, cls in enumerate(CLASS_ORDER):
+            class_totals[i] += cpu.class_counts()[cls]
+        for i, unit in enumerate(UNIT_ORDER):
+            unit_totals[i] += cpu.unit_counts()[unit]
+    assert class_totals == [7, 69, 25, 5]
+    assert sum(class_totals) == 106
+    assert unit_totals == [4, 49, 6, 14, 9, 12]
+
+
+def test_bug_names_unique_across_cpus():
+    names = [bug.name for cpu in CPU_CONFIGS for bug in cpu.bugs]
+    assert len(names) == len(set(names))
+
+
+def test_derivatives_have_no_architecture_bugs():
+    # "CPU1 to CPU4 are derivative processors ... TSOtool did not expose
+    # architecture bugs (since the architecture was already stable)".
+    for cpu in CPU_CONFIGS[:4]:
+        assert cpu.class_counts()[BugClass.ARCHITECTURE] == 0
+
+
+def test_new_designs_have_architecture_bugs():
+    for cpu in CPU_CONFIGS[4:]:
+        assert cpu.class_counts()[BugClass.ARCHITECTURE] > 0
+
+
+def test_every_bug_instantiates_a_fault():
+    for cpu in CPU_CONFIGS:
+        for spec in cpu.bugs:
+            fault = spec.instantiate()
+            assert fault.name == spec.name
+            assert fault.unit == spec.unit
+            assert fault.bug_class == spec.bug_class
+            assert 0.0 < fault.rate <= 1.0
+
+
+def test_environment_bugs_have_no_unit():
+    for cpu in CPU_CONFIGS:
+        for spec in cpu.bugs:
+            if spec.bug_class == BugClass.ENVIRONMENT:
+                assert spec.unit == FuncUnit.NONE
+
+
+def test_cpu_lookup():
+    assert cpu_by_name("CPU3").name == "CPU3"
+    with pytest.raises(KeyError):
+        cpu_by_name("CPU9")

@@ -1,0 +1,134 @@
+"""Fault mechanisms reproduce the paper's Sec. 5.1 bug signatures.
+
+Fig. 6 (lost dirty bit) and Fig. 7 (atomicity hole) are silicon bugs the
+paper shows as litmus outcomes; here the corresponding fault models are
+driven on the simulator with directed programs until the checker's
+violation matches the paper's signature.
+"""
+
+import pytest
+
+from repro.core.api import check
+from repro.model.ops import ICas, ILoad, IMembar, IStore, ISwap
+from repro.model.program import Program, Thread
+from repro.sim.faults import AtomicityHoleFault, DroppedInvalidateFault, LostDirtyBitFault
+from repro.sim.machine import MachineConfig, TsoMachine
+
+
+def _drive(program, fault, seeds=range(60), config=None):
+    """Run until the fault produces a checker-visible violation."""
+    for seed in seeds:
+        fresh = fault()
+        machine = TsoMachine(
+            program, seed=seed, faults=[fresh], config=config or MachineConfig()
+        )
+        execution = machine.run()
+        result = check(program, execution)
+        if not result.ok and fresh.activations > 0:
+            return seed, execution, result
+    return None, None, None
+
+
+class TestFig6Signature:
+    def test_lost_swap_store_after_concurrent_store(self):
+        # The Fig. 6 scenario: P0 stores to A while P1 swaps A and then
+        # loads it back.  When the swap's store is lost (dirty bit), P1's
+        # later loads re-read stale data — the paper's exact outcome.
+        # The lost line serves its writer for ttl reads, so several
+        # trailing loads are needed to step past the silent replacement;
+        # the fault rate is below 1.0 so P0's store can still land.
+        program = Program(
+            threads=[
+                Thread([IStore(addr=0), IMembar()]),
+                Thread([ISwap(addr=0)] + [ILoad(addr=0)] * 6),
+            ]
+        )
+        seed, execution, result = _drive(
+            program, lambda: LostDirtyBitFault(rate=0.5, ttl=1)
+        )
+        assert seed is not None, "lost-dirty-bit never produced a violation"
+        # Some load after the swap does not see the swap's own store.
+        swap_rec = execution.records[1][0]
+        trailing = [rec.loaded for rec in execution.records[1][1:]]
+        assert any(loaded != swap_rec.stored for loaded in trailing)
+
+    def test_own_processor_sees_value_then_loses_it(self):
+        # The lost line serves the writer a few reads, then silently
+        # reverts — "the data update being lost when the line was later
+        # replaced".
+        program = Program(
+            threads=[Thread([IStore(addr=0)] + [ILoad(addr=0)] * 8)]
+        )
+        fault = LostDirtyBitFault(rate=1.0, ttl=2)
+        machine = TsoMachine(
+            program, seed=1, faults=[fault], config=MachineConfig(drain_bias=1.0)
+        )
+        execution = machine.run()
+        loads = [rec.loaded[0] for rec in execution.records[0][1:]]
+        stored = execution.records[0][0].stored[0]
+        assert loads[0] == stored       # freshly written line still serves
+        assert loads[-1] == 0           # ...but the update is eventually lost
+        assert not check(program, execution).ok
+
+
+class TestFig7Signature:
+    def test_cross_cas_atomicity_violation(self):
+        # Fig. 7: two CAS from the initial values on two locations plus
+        # trailing loads; the atomicity window lets the other processor's
+        # store sneak between read and write.
+        def cas_thread(addr, other):
+            return Thread(
+                [
+                    ILoad(addr=addr),
+                    ICas(addr=addr, size=4, compare_from=0),
+                    ILoad(addr=other),
+                ]
+            )
+
+        program = Program(threads=[cas_thread(0, 4), cas_thread(4, 0)])
+        seed, _execution, result = _drive(
+            program, lambda: AtomicityHoleFault(rate=1.0)
+        )
+        assert seed is not None, "atomicity hole never produced a violation"
+
+    def test_swap_mutual_exclusion_broken(self):
+        # Two swaps on one location must never both see the initial
+        # value; the hole makes exactly that happen.
+        program = Program(
+            threads=[Thread([ISwap(addr=0)]), Thread([ISwap(addr=0)])]
+        )
+
+        def both_read_init(execution):
+            return (
+                execution.records[0][0].loaded == (0,)
+                and execution.records[1][0].loaded == (0,)
+            )
+
+        for seed in range(80):
+            fault = AtomicityHoleFault(rate=1.0)
+            machine = TsoMachine(program, seed=seed, faults=[fault])
+            execution = machine.run()
+            if both_read_init(execution):
+                assert not check(program, execution).ok
+                return
+        pytest.fail("atomicity hole never let both swaps read the initial value")
+
+
+class TestStaleDataSignature:
+    def test_dropped_invalidate_serves_stale_line(self):
+        # Sec. 5.1: "a prefetch cache dropped an invalidate request, and
+        # later returned stale data to the pipeline."  Stale data alone is
+        # legal (the load just orders early), so the message-passing shape
+        # pins it down: the victim warms its A line, the writer publishes
+        # A then the flag B, and the victim sees the flag but still the
+        # stale A — the coherence violation the checker flags.
+        program = Program(
+            threads=[
+                Thread([ILoad(addr=0), ILoad(addr=4), ILoad(addr=0)] * 3),
+                Thread([IStore(addr=0), IMembar(), IStore(addr=4), IMembar()]),
+            ]
+        )
+        seed, execution, result = _drive(
+            program, lambda: DroppedInvalidateFault(rate=1.0)
+        )
+        assert seed is not None, "dropped invalidate never produced a violation"

@@ -1,0 +1,169 @@
+"""Tests for the machine's relaxation modes and perturbation features:
+PSO drain mode, inter-processor interrupts, and the hardware prefetcher."""
+
+import pytest
+
+from repro.core.api import check
+from repro.core.policy import PSO, SC, TSO
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.model.ops import IInterrupt, ILoad, IMembar, IStore
+from repro.model.program import Program, Thread
+from repro.sim.machine import MachineConfig, TsoMachine
+from tests.util import PLAIN_MIX
+
+PSO_CONFIG = MachineConfig(pso_mode=True, drain_bias=0.2)
+
+
+class TestPsoMode:
+    def test_sc_and_pso_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            MachineConfig(sc_mode=True, pso_mode=True)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pso_runs_pass_pso_check(self, seed):
+        config = GeneratorConfig(
+            nprocs=4, ops_per_proc=60, shared_words=6, mix=PLAIN_MIX
+        )
+        program = generate_program(config, seed=seed)
+        execution = TsoMachine(program, seed=seed, config=PSO_CONFIG).run()
+        result = check(program, execution, model=PSO)
+        assert result.ok, result.explain()
+
+    def test_pso_machine_can_violate_tso(self):
+        # Message passing: data then flag.  A PSO machine may commit the
+        # flag first, so some run must show flag-without-data — a TSO
+        # violation but PSO-legal.
+        program = Program(
+            threads=[
+                Thread([IStore(addr=0), IStore(addr=4)]),
+                Thread([ILoad(addr=4), ILoad(addr=0)] * 3),
+            ]
+        )
+        tso_failures = 0
+        for seed in range(60):
+            execution = TsoMachine(program, seed=seed, config=PSO_CONFIG).run()
+            assert check(program, execution, model=PSO).ok
+            if not check(program, execution, model=TSO).ok:
+                tso_failures += 1
+        assert tso_failures > 0, "PSO machine never exhibited MP reordering"
+
+    def test_pso_preserves_same_address_order(self):
+        # Two stores to one address must still commit in order: no run
+        # may show a CoRR violation even under PSO draining.
+        program = Program(
+            threads=[
+                Thread([IStore(addr=0), IStore(addr=0), IStore(addr=0)]),
+                Thread([ILoad(addr=0), ILoad(addr=0), ILoad(addr=0)]),
+            ]
+        )
+        for seed in range(40):
+            execution = TsoMachine(program, seed=seed, config=PSO_CONFIG).run()
+            result = check(program, execution, model=PSO)
+            assert result.ok, f"seed {seed}: {result.explain()}"
+
+    def test_membar_restores_order_under_pso(self):
+        # MP with a fenced writer can never show flag-without-data.
+        program = Program(
+            threads=[
+                Thread([IStore(addr=0), IMembar(), IStore(addr=4)]),
+                Thread([ILoad(addr=4), ILoad(addr=0)]),
+            ]
+        )
+        for seed in range(40):
+            execution = TsoMachine(program, seed=seed, config=PSO_CONFIG).run()
+            flag, data = execution.records[1]
+            if flag.loaded != (0,):
+                assert data.loaded != (0,), f"seed {seed}: fence ignored"
+
+
+class TestInterrupts:
+    def test_ipi_serializes_target_buffer(self):
+        # P0 stores (possibly buffered) then P1 IPIs P0: after P0 takes
+        # the interrupt its buffer must be empty.  Verified statistically
+        # through the final memory state being reached before the end in
+        # a directed scenario: the IPI forces the drain even with
+        # drain_bias 0.
+        program = Program(
+            threads=[
+                Thread([IStore(addr=0)] + [ILoad(addr=4)] * 10),
+                Thread([IInterrupt(target=0)] + [ILoad(addr=4)] * 10),
+            ]
+        )
+        machine = TsoMachine(
+            program, seed=3, config=MachineConfig(drain_bias=0.0)
+        )
+        machine.run()
+        stored = machine.cpus[0].records[0].stored[0]
+        assert machine.memory.read(0) == stored
+
+    def test_self_interrupt_is_harmless(self):
+        program = Program(threads=[Thread([IInterrupt(target=0), ILoad(addr=0)])])
+        execution = TsoMachine(program, seed=0).run()
+        assert len(execution.records[0]) == 2
+
+    def test_interrupts_keep_runs_tso_clean(self):
+        mix = InstructionMix(load=20, store=20, membar=2, interrupt=10)
+        config = GeneratorConfig(nprocs=4, ops_per_proc=60, shared_words=6, mix=mix)
+        for seed in range(6):
+            program = generate_program(config, seed=seed)
+            execution = TsoMachine(program, seed=seed).run()
+            assert check(program, execution).ok
+
+    def test_generator_never_targets_self(self):
+        mix = InstructionMix(load=1, interrupt=30)
+        config = GeneratorConfig(nprocs=3, ops_per_proc=60, mix=mix)
+        program = generate_program(config, seed=4)
+        found = 0
+        for pid, thread in enumerate(program.threads):
+            for instr in thread:
+                if isinstance(instr, IInterrupt):
+                    found += 1
+                    assert instr.target != pid
+                    assert 0 <= instr.target < config.nprocs
+        assert found > 0
+
+    def test_single_proc_generator_emits_no_interrupts(self):
+        mix = InstructionMix(load=1, interrupt=30)
+        config = GeneratorConfig(nprocs=1, ops_per_proc=40, mix=mix)
+        program = generate_program(config, seed=5)
+        assert not any(
+            isinstance(i, IInterrupt) for i in program.threads[0]
+        )
+
+
+class TestHardwarePrefetch:
+    def test_sequential_loads_install_next_line(self):
+        # Words at 0, 64, 128 are on consecutive lines; loading the first
+        # two should prefetch the third.
+        program = Program(
+            threads=[Thread([ILoad(addr=0), ILoad(addr=64)])],
+            initial={0: 0, 64: 0, 128: 0},
+        )
+        machine = TsoMachine(
+            program, seed=0, config=MachineConfig(hw_prefetch=True)
+        )
+        machine.run()
+        assert machine.caches[0].lookup(128) is not None
+
+    def test_non_sequential_loads_do_not_prefetch(self):
+        program = Program(
+            threads=[Thread([ILoad(addr=0), ILoad(addr=128)])],
+            initial={0: 0, 128: 0, 192: 0},
+        )
+        machine = TsoMachine(
+            program, seed=0, config=MachineConfig(hw_prefetch=True)
+        )
+        machine.run()
+        assert machine.caches[0].lookup(192) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_prefetcher_is_value_transparent(self, seed):
+        config = GeneratorConfig(
+            nprocs=4, ops_per_proc=60, shared_words=32, stride_words=8
+        )
+        program = generate_program(config, seed=seed)
+        execution = TsoMachine(
+            program, seed=seed, config=MachineConfig(hw_prefetch=True)
+        ).run()
+        assert check(program, execution).ok

@@ -1,0 +1,128 @@
+"""Tests for non-cacheable (ASI) accesses through the whole stack."""
+
+import pytest
+
+from repro.core.api import check
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.model.ops import ILoad, IMembar, IStore
+from repro.model.program import Program, Thread
+from repro.model.trace import Execution
+from repro.sim.faults import WritebackReorderFault
+from repro.sim.machine import MachineConfig, TsoMachine
+
+NC = dict(cacheable=False)
+
+
+def _run(threads, seed=0, config=None, initial=None, faults=()):
+    program = Program(threads=[Thread(t) for t in threads], initial=initial or {})
+    machine = TsoMachine(
+        program, seed=seed, config=config or MachineConfig(), faults=list(faults)
+    )
+    return program, machine.run(), machine
+
+
+class TestMachineSemantics:
+    def test_nc_load_bypasses_cache(self):
+        program, execution, machine = _run(
+            [[ILoad(addr=0, **NC), ILoad(addr=0, **NC)]], initial={0: 5}
+        )
+        assert machine.caches[0].lookup(0) is None
+        assert execution.records[0][0].loaded == (5,)
+        assert machine.stats.cache_hits == 0
+        assert machine.stats.memory_reads == 2
+
+    def test_nc_store_skips_own_cache_install(self):
+        program, execution, machine = _run(
+            [[IStore(addr=0, **NC), IMembar()]]
+        )
+        assert machine.caches[0].lookup(0) is None
+        assert machine.memory.read(0) == execution.records[0][0].stored[0]
+
+    def test_nc_store_forwards_to_own_loads(self):
+        program, execution, _machine = _run(
+            [[IStore(addr=0, **NC), ILoad(addr=0, **NC)]],
+            config=MachineConfig(drain_bias=0.0),
+        )
+        recs = execution.records[0]
+        assert recs[1].loaded == recs[0].stored
+
+    def test_nc_runs_are_tso_clean(self):
+        mix = InstructionMix(load=15, store=15, nc_load=15, nc_store=15, membar=3)
+        config = GeneratorConfig(
+            nprocs=4, ops_per_proc=60, shared_words=6, nc_words=4, mix=mix
+        )
+        for seed in range(6):
+            program = generate_program(config, seed=seed)
+            execution = TsoMachine(program, seed=seed).run()
+            assert check(program, execution).ok
+
+    def test_trace_round_trips_nc_flag(self):
+        program, execution, _machine = _run(
+            [[IStore(addr=0, **NC), ILoad(addr=0, **NC), IStore(addr=4)]]
+        )
+        reloaded = Execution.load(execution.dump())
+        assert reloaded.records == execution.records
+        assert reloaded.records[0][0].instr.cacheable is False
+        assert reloaded.records[0][2].instr.cacheable is True
+
+
+class TestGeneratorLayout:
+    def test_nc_region_disjoint_from_cacheable(self):
+        config = GeneratorConfig(shared_words=16, nc_words=4)
+        cacheable = set(config.word_addresses())
+        nc = set(config.nc_addresses())
+        assert not (cacheable & nc)
+        assert len(nc) == 4
+
+    def test_nc_accesses_target_nc_region_only(self):
+        mix = InstructionMix(load=1, nc_load=20, nc_store=20)
+        config = GeneratorConfig(
+            nprocs=2, ops_per_proc=80, shared_words=4, nc_words=3, mix=mix
+        )
+        program = generate_program(config, seed=2)
+        nc_region = set(config.nc_addresses())
+        found = 0
+        for thread in program.threads:
+            for instr in thread:
+                if getattr(instr, "cacheable", True) is False:
+                    found += 1
+                    assert instr.addr in nc_region
+        assert found > 0
+
+    def test_zero_nc_words_suppresses_nc_accesses(self):
+        mix = InstructionMix(load=1, nc_load=20, nc_store=20)
+        config = GeneratorConfig(
+            nprocs=2, ops_per_proc=40, shared_words=4, nc_words=0, mix=mix
+        )
+        program = generate_program(config, seed=3)
+        assert all(
+            getattr(i, "cacheable", True) for t in program.threads for i in t
+        )
+
+
+class TestWriteQueueRace:
+    def test_fault_races_mixed_cacheability_entries(self):
+        # P0 writes cacheable data then a non-cacheable flag; the fault
+        # drains the NC queue first, so an observer can see the flag
+        # before the data — the Sec. 5.1 ordering violation.
+        data, flag = 0, 64
+        p0 = [IStore(addr=data), IStore(addr=flag, **NC), IMembar()]
+        p1 = [ILoad(addr=flag, **NC), ILoad(addr=data)] * 3
+        for seed in range(80):
+            program, execution, machine = _run(
+                [p0, p1], seed=seed,
+                faults=[WritebackReorderFault(rate=1.0)],
+                config=MachineConfig(drain_bias=0.15),
+            )
+            result = check(program, execution)
+            if not result.ok:
+                return
+        pytest.fail("write-queue race never produced a violation")
+
+    def test_fault_inactive_on_homogeneous_singleton_buffer(self):
+        fault = WritebackReorderFault(rate=1.0)
+        program, execution, machine = _run(
+            [[IStore(addr=0), IMembar()]], faults=[fault]
+        )
+        assert check(program, execution).ok

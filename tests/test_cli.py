@@ -1,0 +1,231 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestGenerate:
+    def test_prints_listing(self, capsys):
+        assert main(["generate", "--procs", "2", "--ops", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("init")
+        assert "P0:" in out and "P1:" in out
+
+    def test_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "prog.txt"
+        assert main(["generate", "--ops", "5", "-o", str(target)]) == 0
+        assert target.read_text().strip()
+
+
+class TestRunAndCheck:
+    def test_run_reports_pass(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        code = main(
+            ["run", "--procs", "2", "--ops", "20", "--seed", "3", "-o", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert trace.exists()
+
+    def test_check_accepts_clean_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        main(["run", "--procs", "2", "--ops", "20", "--seed", "4", "-o", str(trace)])
+        capsys.readouterr()
+        assert main(["check", str(trace)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_flags_edited_trace_and_writes_dot(self, tmp_path, capsys):
+        # The Sec. 3.4 what-if flow through the CLI.
+        trace = tmp_path / "run.trace"
+        main(["run", "--procs", "2", "--ops", "20", "--seed", "5", "-o", str(trace)])
+        capsys.readouterr()
+        import re
+
+        text = trace.read_text()
+        text = re.sub(r"loaded=(-?\d+)", "loaded=987654321", text, count=1)
+        trace.write_text(text)
+        dot = tmp_path / "fail.dot"
+        code = main(["check", str(trace), "--dot", str(dot)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert dot.exists() and dot.read_text().startswith("digraph")
+
+    def test_check_with_baseline_engine(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        main(["run", "--procs", "2", "--ops", "10", "--seed", "6", "-o", str(trace)])
+        capsys.readouterr()
+        assert main(["check", str(trace), "--engine", "baseline"]) == 0
+
+
+class TestLitmus:
+    def test_list(self, capsys):
+        assert main(["litmus", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "SB" in out
+
+    def test_named_case_matches_expectations(self, capsys):
+        assert main(["litmus", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL (expected FAIL) — ok" in out
+
+    def test_explain_flag_prints_cycle(self, capsys):
+        assert main(["litmus", "fig6", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(KeyError):
+            main(["litmus", "not-a-case"])
+
+
+class TestCampaignAndRuntime:
+    def test_campaign_single_cpu_speed_friendly(self, capsys, monkeypatch):
+        # Restrict to CPU1 to keep the CLI test fast.
+        import repro.cli as cli
+        from repro.sim.cpus import cpu_by_name
+
+        real = cli.run_campaign
+        monkeypatch.setattr(
+            cli, "run_campaign",
+            lambda config: real(cpus=[cpu_by_name("CPU1")], config=config),
+        )
+        assert main(["campaign", "--table", "1", "--tests-per-bug", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "CPU1" in out
+
+    def test_runtime_figure9(self, capsys):
+        assert main(["runtime", "--figure", "9", "--ops-points", "40", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        assert out.count("procs=4") == 6  # 3 word counts x 2 ops points
+
+
+class TestHtmlAndGraphArtifacts:
+    def test_check_writes_graph_and_html(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        main(["run", "--procs", "2", "--ops", "15", "--seed", "2", "-o", str(trace)])
+        capsys.readouterr()
+        graph = tmp_path / "g.txt"
+        page = tmp_path / "g.html"
+        assert main(["check", str(trace), "--graph", str(graph),
+                     "--html", str(page)]) == 0
+        assert graph.read_text().startswith("# tsotool analysis graph")
+        assert page.read_text().startswith("<!doctype html>")
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
+        # Shrink the report scales so the CLI test stays fast.
+        import repro.cli as cli
+        from repro.analysis.report import ReportConfig, build_report
+
+        def tiny_report(config):
+            return build_report(ReportConfig(
+                tests_per_bug=config.tests_per_bug,
+                fig8_procs=(2,), fig9_words=(4,), ops_points=(100,),
+                ablation_ops=100,
+            ))
+
+        monkeypatch.setattr(cli, "build_report", tiny_report)
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "-o", str(out), "--tests-per-bug", "10"]) == 0
+        text = out.read_text()
+        assert text.startswith("# TSOtool reproduction report")
+        assert "## Litmus conformance" in text
+
+
+class TestEmitAndCoverage:
+    def test_emit_to_stdout(self, capsys):
+        assert main(["emit", "--procs", "2", "--ops", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "tsotool_thread_0" in out and ".global" in out
+
+    def test_emit_c11(self, capsys):
+        assert main(["emit", "--lang", "c11", "--procs", "2", "--ops", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "#include <stdatomic.h>" in out
+        assert "tsotool trace v1" in out
+
+    def test_emit_to_file(self, tmp_path, capsys):
+        target = tmp_path / "test.S"
+        assert main(["emit", "--ops", "8", "-o", str(target)]) == 0
+        assert "tsotool_thread_3" in target.read_text()
+
+    def test_coverage_report(self, capsys):
+        assert main(["coverage", "--procs", "2", "--ops", "30", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage report" in out
+        assert "machine.forwards" in out
+
+
+class TestMinimize:
+    def test_minimize_failing_trace(self, tmp_path, capsys):
+        # Build a failing trace by corrupting a run, then minimize it.
+        import re
+
+        trace = tmp_path / "run.trace"
+        main(["run", "--procs", "2", "--ops", "30", "--seed", "9", "-o", str(trace)])
+        capsys.readouterr()
+        # A CoRR-style corruption: duplicate an observed store value in
+        # the wrong order is hard to fabricate textually, so instead swap
+        # one load's value for another same-address store value until the
+        # checker reports a cycle.
+        from repro.model.trace import Execution
+        from repro.core.api import check_execution
+        from repro.core.result import ViolationKind
+
+        base = Execution.load(trace.read_text())
+        by_addr = {}
+        for proc in base.records:
+            for rec in proc:
+                if rec.stored is not None:
+                    for i, value in enumerate(rec.stored):
+                        by_addr.setdefault(rec.instr.addr + 4 * i, []).append(value)
+        found = False
+        for pid, proc in enumerate(base.records):
+            for idx, rec in enumerate(proc):
+                if found or rec.loaded is None:
+                    continue
+                addr = rec.instr.addr
+                for candidate in by_addr.get(addr, []):
+                    if candidate == rec.loaded[0]:
+                        continue
+                    records = [list(p) for p in base.records]
+                    records[pid][idx] = rec.with_loaded(
+                        [candidate] + list(rec.loaded[1:])
+                    )
+                    verdict = check_execution(Execution(records=records))
+                    if (not verdict.ok
+                            and verdict.violation.kind == ViolationKind.CYCLE):
+                        trace.write_text(Execution(records=records).dump())
+                        found = True
+                        break
+        if not found:
+            pytest.skip("no cycle-inducing corruption found for this seed")
+        out_file = tmp_path / "min.trace"
+        assert main(["minimize", str(trace), "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "minimal failing core" in out
+        assert out_file.exists()
+
+    def test_minimize_rejects_passing_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        main(["run", "--procs", "2", "--ops", "10", "--seed", "1", "-o", str(trace)])
+        capsys.readouterr()
+        assert main(["minimize", str(trace)]) == 2
+        assert "cannot minimize" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_model_choices(self):
+        args = build_parser().parse_args(["run", "--model", "SC"])
+        assert args.model == "SC"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "XYZ"])

@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The three load-bearing properties of the whole system:
+
+1. **End-to-end soundness** — the checker never flags an execution the
+   golden TSO machine produced ("we presume the machine innocent,
+   unless proved guilty": no false positives, Sec. 1).
+2. **Engine agreement** — the optimized closure engine and the literal
+   Fig. 2 baseline return the same verdict on everything, including
+   adversarially corrupted runs.
+3. **Complete-checker consistency** — on small programs, the polynomial
+   checker is sound w.r.t. the exponential ground truth: whatever it
+   flags, the complete procedure also rejects.
+"""
+
+import random as stdlib_random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.api import check, check_execution
+from repro.core.checker import BaselineChecker
+from repro.core.closure import ClosureChecker
+from repro.core.complete import complete_check
+from repro.core.policy import PSO, SC, TSO
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.model.expansion import expand
+from repro.model.trace import Execution
+from repro.sim.machine import MachineConfig, TsoMachine
+from tests.util import PLAIN_MIX
+
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+small_configs = st.builds(
+    GeneratorConfig,
+    nprocs=st.integers(2, 6),
+    ops_per_proc=st.integers(5, 40),
+    shared_words=st.integers(1, 10),
+    stride_words=st.sampled_from([1, 4, 16]),
+)
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000))
+def test_golden_tso_runs_always_pass(config, seed):
+    program = generate_program(config, seed=seed)
+    execution = TsoMachine(program, seed=seed).run()
+    result = check(program, execution)
+    assert result.ok, result.explain()
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000))
+def test_sc_mode_runs_pass_under_every_model(config, seed):
+    # SC executions are a subset of TSO and PSO executions.
+    program = generate_program(config, seed=seed)
+    machine = TsoMachine(program, seed=seed, config=MachineConfig(sc_mode=True))
+    execution = machine.run()
+    for model in (SC, TSO, PSO):
+        assert check(program, execution, model=model).ok, model.name
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000))
+def test_writeback_machine_runs_always_pass(config, seed):
+    # The write-back cache mode (dirty lines, snooping, evictions) must
+    # be just as TSO-sound as the write-through default.
+    program = generate_program(config, seed=seed)
+    machine = TsoMachine(
+        program, seed=seed,
+        config=MachineConfig(writeback=True, cache_lines=2, hw_prefetch=True),
+    )
+    execution = machine.run()
+    result = check(program, execution)
+    assert result.ok, result.explain()
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000))
+def test_tso_runs_pass_under_pso(config, seed):
+    # PSO is strictly weaker than TSO: every TSO execution is PSO-legal.
+    program = generate_program(config, seed=seed)
+    execution = TsoMachine(program, seed=seed).run()
+    assert check(program, execution, model=PSO).ok
+
+
+def _corrupt(execution: Execution, seed: int) -> Execution:
+    """Swap one load's observed value for another value of the same
+    address — a 'plausible' corruption that stays inside the value map."""
+    rng = stdlib_random.Random(seed)
+    by_addr = {}
+    for proc in execution.records:
+        for rec in proc:
+            if rec.stored is not None:
+                addr = rec.instr.addr
+                for i, value in enumerate(rec.stored):
+                    by_addr.setdefault(addr + 4 * i, []).append(value)
+    candidates = []
+    for pid, proc in enumerate(execution.records):
+        for idx, rec in enumerate(proc):
+            if rec.loaded is not None and rec.instr.words() >= 1:
+                candidates.append((pid, idx))
+    if not candidates:
+        return execution
+    pid, idx = rng.choice(candidates)
+    rec = execution.records[pid][idx]
+    word = rng.randrange(len(rec.loaded))
+    addr = rec.instr.addr + 4 * word
+    pool = [v for v in by_addr.get(addr, [0]) if v != rec.loaded[word]] or [0]
+    loaded = list(rec.loaded)
+    loaded[word] = rng.choice(pool)
+    records = [list(p) for p in execution.records]
+    records[pid][idx] = rec.with_loaded(loaded)
+    return Execution(records=records)
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000))
+def test_engines_agree_on_golden_and_corrupted_runs(config, seed):
+    program = generate_program(config, seed=seed)
+    execution = TsoMachine(program, seed=seed).run()
+    for trace in (execution, _corrupt(execution, seed)):
+        verdicts = {
+            engine: check(program, trace, engine=engine).ok
+            for engine in ("closure", "baseline", "matrix")
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000))
+def test_model_hierarchy_on_corrupted_runs(config, seed):
+    # SC-pass implies TSO-pass implies PSO-pass (the models only relax).
+    program = generate_program(config, seed=seed)
+    trace = _corrupt(TsoMachine(program, seed=seed).run(), seed)
+    sc_ok = check(program, trace, model=SC).ok
+    tso_ok = check(program, trace, model=TSO).ok
+    pso_ok = check(program, trace, model=PSO).ok
+    if sc_ok:
+        assert tso_ok
+    if tso_ok:
+        assert pso_ok
+
+
+tiny_configs = st.builds(
+    GeneratorConfig,
+    nprocs=st.integers(2, 3),
+    ops_per_proc=st.integers(2, 5),
+    shared_words=st.integers(1, 3),
+    mix=st.just(PLAIN_MIX),
+)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config=tiny_configs, seed=st.integers(0, 10_000))
+def test_polynomial_checker_sound_wrt_complete(config, seed):
+    # On tiny corrupted runs: if the polynomial checker flags, the
+    # complete procedure must agree the outcome is invalid; if the
+    # complete procedure finds a witness, the polynomial checker must
+    # have passed it.
+    program = generate_program(config, seed=seed)
+    trace = _corrupt(TsoMachine(program, seed=seed).run(), seed)
+    aprog = expand(trace, initial=program.initial, word_names=program.word_names)
+    poly = ClosureChecker().run(aprog)
+    truth = complete_check(aprog, max_states=200_000)
+    if not truth.decided:
+        return  # budget blown: nothing to compare
+    if not poly.ok:
+        assert truth.valid is False, "polynomial checker false-positive!"
+    if truth.valid is True:
+        assert poly.ok
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000))
+def test_trace_serialization_round_trips(config, seed):
+    program = generate_program(config, seed=seed)
+    execution = TsoMachine(program, seed=seed).run()
+    reloaded = Execution.load(execution.dump())
+    assert reloaded.records == execution.records
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000))
+def test_unique_store_values_per_address(config, seed):
+    program = generate_program(config, seed=seed)
+    execution = TsoMachine(program, seed=seed).run()
+    seen = set()
+    for proc in execution.records:
+        for rec in proc:
+            if rec.stored is None:
+                continue
+            for i, value in enumerate(rec.stored):
+                key = (rec.instr.addr + 4 * i, value)
+                assert key not in seen
+                seen.add(key)
+
+
+@FAST
+@given(seed=st.integers(0, 10_000), nprocs=st.integers(1, 6),
+       ops=st.integers(1, 60))
+def test_generator_budget_exact_and_deterministic(seed, nprocs, ops):
+    config = GeneratorConfig(nprocs=nprocs, ops_per_proc=ops, shared_words=4)
+    a = generate_program(config, seed=seed)
+    b = generate_program(config, seed=seed)
+    assert a.threads == b.threads
+    assert all(len(t) == ops for t in a.threads)
+
+
+@FAST
+@given(config=small_configs, seed=st.integers(0, 10_000),
+       garbage=st.integers(10**9, 10**10))
+def test_unwritten_value_always_flagged(config, seed, garbage):
+    # Inject a value that no store could have produced: the analysis
+    # must fail, whatever else happens (Sec. 4's up-front check).
+    program = generate_program(config, seed=seed)
+    execution = TsoMachine(program, seed=seed).run()
+    records = [list(p) for p in execution.records]
+    for pid, proc in enumerate(records):
+        for idx, rec in enumerate(proc):
+            if rec.loaded:
+                loaded = list(rec.loaded)
+                loaded[0] = garbage
+                records[pid][idx] = rec.with_loaded(loaded)
+                result = check(
+                    program, Execution(records=records)
+                )
+                assert not result.ok
+                return

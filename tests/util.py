@@ -1,0 +1,48 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.api import check
+from repro.core.policy import MemoryModel, TSO
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.model.expansion import AnalysisProgram, expand
+from repro.model.program import Program, parse_litmus
+from repro.model.trace import Execution
+from repro.sim.machine import MachineConfig, TsoMachine
+
+#: A small, intensely-racy generator config used across tests.
+SMALL = GeneratorConfig(nprocs=4, ops_per_proc=50, shared_words=6)
+
+#: Loads/stores/atomics only — no block ops, branches, or oddballs.
+PLAIN_MIX = InstructionMix(
+    load=40.0, store=40.0, swap=4.0, cas=4.0, membar=4.0,
+    block_load=0.0, block_store=0.0, nonfaulting_load=0.0,
+    prefetch=0.0, flush=0.0, branch=0.0, interrupt=0.0,
+)
+
+
+def golden_run(
+    seed: int,
+    config: Optional[GeneratorConfig] = None,
+    machine_config: Optional[MachineConfig] = None,
+) -> Tuple[Program, Execution, TsoMachine]:
+    """Generate and execute one fault-free run."""
+    config = config or SMALL
+    program = generate_program(config, seed=seed)
+    machine = TsoMachine(program, seed=seed, config=machine_config or MachineConfig())
+    execution = machine.run()
+    return program, execution, machine
+
+
+def litmus_aprog(text: str) -> AnalysisProgram:
+    """Parse litmus text and expand it to an analysis program."""
+    program, execution = parse_litmus(text)
+    return expand(execution, initial=program.initial, word_names=program.word_names)
+
+
+def describe_map(aprog: AnalysisProgram) -> Dict[str, int]:
+    """Map human descriptions to node ids, for edge-level assertions."""
+    return {aprog.describe(op.id): op.id for op in aprog.ops}
