@@ -1,0 +1,52 @@
+"""Parallel campaign engine: wall-clock speedup and result parity.
+
+Runs the same campaign sequentially and across a 4-worker pool and
+records both wall-clock times, the summed per-hunt CPU time, and the
+speedup under ``benchmarks/results/parallel_speedup.txt``.  On a host
+with >= 4 cores the pool should deliver >= 2.5x wall-clock speedup; on
+smaller hosts the number is recorded but only result *parity* is
+asserted (the hunts must be identical to the sequential run).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.campaign import CampaignConfig, run_campaign
+from repro.sim.cpus import cpu_by_name
+
+WORKERS = 4
+#: A campaign slice big enough to dominate pool overhead.
+CPUS = ("CPU3", "CPU4", "CPU5")
+TESTS_PER_BUG = 10
+
+
+def test_parallel_speedup_and_parity(record):
+    cpus = [cpu_by_name(name) for name in CPUS]
+    config = CampaignConfig(tests_per_bug=TESTS_PER_BUG)
+    sequential = run_campaign(cpus=cpus, config=config, workers=1)
+    parallel = run_campaign(cpus=cpus, config=config, workers=WORKERS)
+
+    # Seed-determinism contract: the pool must change nothing but time.
+    assert parallel.hunts == sequential.hunts
+    assert parallel.stats.hung == 0
+
+    cores = os.cpu_count() or 1
+    speedup = sequential.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    lines = [
+        f"campaign slice: {', '.join(CPUS)} at tests_per_bug={TESTS_PER_BUG} "
+        f"({len(sequential.hunts)} hunts) on {cores} core(s)",
+        f"  sequential: wall={sequential.wall_seconds:7.2f}s "
+        f"cpu={sequential.cpu_seconds:7.2f}s",
+        f"  {WORKERS} workers: wall={parallel.wall_seconds:7.2f}s "
+        f"cpu={parallel.cpu_seconds:7.2f}s",
+        f"  wall-clock speedup: {speedup:.2f}x",
+        f"  throughput: {parallel.stats.throughput_line()}",
+    ]
+    record("parallel_speedup", "\n".join(lines))
+
+    if cores >= WORKERS:
+        assert speedup >= 2.5, (
+            f"expected >= 2.5x at {WORKERS} workers on {cores} cores, "
+            f"measured {speedup:.2f}x"
+        )

@@ -9,6 +9,8 @@
 * :mod:`~repro.analysis.minimize` — failing-trace delta debugging.
 * :mod:`~repro.analysis.bringup` — silicon bring-up simulation (all bugs
   live at once, root-caused one by one).
+* :mod:`~repro.analysis.pool` — the parallel execution engine behind
+  campaigns and sweeps (worker processes, timeouts, retries).
 """
 
 from repro.analysis.bringup import BringupEvent, BringupLog, bringup
@@ -32,8 +34,14 @@ from repro.analysis.repro_study import (
     reproduction_study,
     sweep_reproduction,
 )
+from repro.analysis.pool import PoolEvent, run_tasks
 from repro.analysis.report import ReportConfig, build_report
-from repro.analysis.runtime import RuntimePoint, measure_runtime, sweep_runtime
+from repro.analysis.runtime import (
+    RuntimePoint,
+    SweepResult,
+    measure_runtime,
+    sweep_runtime,
+)
 from repro.analysis.stats import (
     LatencySummary,
     bootstrap_detection_rate,
@@ -70,7 +78,10 @@ __all__ = [
     "sweep_reproduction",
     "ReportConfig",
     "build_report",
+    "PoolEvent",
+    "run_tasks",
     "RuntimePoint",
+    "SweepResult",
     "measure_runtime",
     "sweep_runtime",
     "LatencySummary",

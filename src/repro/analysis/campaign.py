@@ -19,13 +19,14 @@ and by functional unit (Table 2).
 
 from __future__ import annotations
 
-import time
 import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.pool import ProgressFn, run_tasks
 from repro.core.api import check
 from repro.core.policy import TSO, MemoryModel
+from repro.core.result import PoolStats
 from repro.generator.config import GeneratorConfig, InstructionMix
 from repro.generator.generator import generate_program
 from repro.sim.cpus import CPU_CONFIGS, BugSpec, CpuConfig
@@ -67,7 +68,13 @@ class CampaignConfig:
 
 @dataclass
 class BugHunt:
-    """The outcome of hunting one seeded bug."""
+    """The outcome of hunting one seeded bug.
+
+    ``hung`` marks a hunt whose worker crashed or exceeded the per-task
+    timeout on every attempt (see :mod:`repro.analysis.pool`); such a
+    hunt ran no conclusive tests and is counted as undetected *and*
+    reported separately — never silently dropped.
+    """
 
     spec: BugSpec
     cpu: str
@@ -75,6 +82,7 @@ class BugHunt:
     tests_run: int
     detected_on_seed: Optional[int] = None
     via: str = ""
+    hung: bool = False
 
     @property
     def unit(self) -> FuncUnit:
@@ -89,10 +97,24 @@ class BugHunt:
 
 @dataclass
 class CampaignResult:
-    """All hunts of a campaign plus derived table rows."""
+    """All hunts of a campaign plus derived table rows.
+
+    Timing is reported on two axes that must not be conflated:
+    ``wall_seconds`` is elapsed time around the whole campaign, while
+    ``cpu_seconds`` sums per-hunt compute time across all workers.  With
+    one worker they are nearly equal; with N workers ``cpu_seconds`` can
+    approach ``N * wall_seconds``.
+    """
 
     hunts: List[BugHunt]
-    seconds: float = 0.0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    stats: Optional[PoolStats] = None
+
+    @property
+    def seconds(self) -> float:
+        """Deprecated alias for :attr:`wall_seconds` (pre-pool callers)."""
+        return self.wall_seconds
 
     def by_cpu(self) -> Dict[str, List[BugHunt]]:
         """Hunts grouped by CPU name."""
@@ -133,8 +155,12 @@ class CampaignResult:
         return rows
 
     def missed(self) -> List[BugHunt]:
-        """Hunts that exhausted their budget without a detection."""
+        """Hunts that ended without a detection (including hung ones)."""
         return [h for h in self.hunts if not h.detected]
+
+    def hung_hunts(self) -> List[BugHunt]:
+        """Hunts abandoned after worker crashes/timeouts (never silent)."""
+        return [h for h in self.hunts if h.hung]
 
 
 def hunt_bug(
@@ -197,18 +223,57 @@ def _triage(
     return False, ""
 
 
+def _hunt_task(task: Tuple[BugSpec, str, CampaignConfig, int]) -> BugHunt:
+    """Picklable pool entry point: hunt one seeded bug in a worker."""
+    spec, cpu_name, config, bug_index = task
+    return hunt_bug(spec, cpu_name, config, bug_index=bug_index)
+
+
 def run_campaign(
     cpus: Sequence[CpuConfig] = CPU_CONFIGS,
     config: Optional[CampaignConfig] = None,
+    workers: int = 1,
+    task_timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> CampaignResult:
-    """Hunt every seeded bug of every CPU; return the full result."""
+    """Hunt every seeded bug of every CPU; return the full result.
+
+    With ``workers > 1`` hunts are sharded across a process pool
+    (:mod:`repro.analysis.pool`).  Every hunt's seed stream is derived
+    from ``(campaign seed, cpu name, bug index)`` inside
+    :func:`hunt_bug`, independent of scheduling, so the hunts are
+    hunt-for-hunt identical to the sequential path for the same master
+    seed.  A hunt whose worker crashes or exceeds ``task_timeout`` twice
+    is recorded with ``hung=True`` (and counts as undetected).
+    """
     config = config or CampaignConfig()
-    hunts: List[BugHunt] = []
-    start = time.perf_counter()
+    tasks: List[Tuple[BugSpec, str, CampaignConfig, int]] = []
     for cpu in cpus:
         for index, spec in enumerate(cpu.bugs):
-            hunts.append(hunt_bug(spec, cpu.name, config, bug_index=index))
-    return CampaignResult(hunts=hunts, seconds=time.perf_counter() - start)
+            tasks.append((spec, cpu.name, config, index))
+    results, stats = run_tasks(
+        _hunt_task,
+        tasks,
+        workers=workers,
+        task_timeout=task_timeout,
+        labels=[spec.name for spec, _, _, _ in tasks],
+        progress=progress,
+    )
+    hunts: List[BugHunt] = []
+    for task, hunt in zip(tasks, results):
+        if hunt is None:
+            spec, cpu_name, _, _ = task
+            hunt = BugHunt(
+                spec=spec, cpu=cpu_name, detected=False, tests_run=0,
+                via="worker crashed or timed out", hung=True,
+            )
+        hunts.append(hunt)
+    return CampaignResult(
+        hunts=hunts,
+        wall_seconds=stats.wall_seconds,
+        cpu_seconds=stats.cpu_seconds,
+        stats=stats,
+    )
 
 
 # ---------------------------------------------------------------------------

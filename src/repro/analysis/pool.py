@@ -1,0 +1,363 @@
+"""Parallel execution engine for campaign hunts and runtime sweeps.
+
+TSOtool's value comes from running *many* pseudo-random racy tests
+against a machine (Sec. 3); each (cpu, bug, seed) hunt and each
+runtime-sweep point is independent and deterministic given its seed, so
+the workload is embarrassingly parallel.  :func:`run_tasks` shards a
+list of picklable task specs across a pool of worker *processes* with:
+
+* a hard per-task timeout — a wedged simulation (or a genuinely hung
+  analysis) cannot stall the batch; the worker is killed and replaced;
+* retry-once on worker crash or timeout — a task that fails twice is
+  recorded as **hung** in the :class:`~repro.core.result.PoolStats`
+  (never silently dropped) and its result slot stays ``None``;
+* deterministic results — every task carries its own derived seed, so
+  results are identical to the sequential path regardless of worker
+  count or scheduling order (results are returned in task order).
+
+Workers are fed one task at a time over per-worker pipes, so the parent
+always knows exactly which task a dead or overdue worker was running —
+there is no window in which a task can be lost between a shared queue
+and a crash.
+
+With ``workers <= 1`` everything runs inline in the parent process
+(no multiprocessing at all), which is the default and keeps existing
+callers byte-for-byte unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.result import PoolStats
+
+#: How often (seconds) the parent scans for overdue / dead workers.
+_POLL_INTERVAL = 0.05
+
+#: Grace period for workers to exit after the shutdown sentinel.
+_SHUTDOWN_GRACE = 2.0
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One progress notification from :func:`run_tasks`.
+
+    Attributes:
+        kind: ``done`` (task finished), ``retry`` (task re-queued after a
+            crash or timeout), or ``hung`` (task abandoned after its
+            retry budget).
+        index: position of the task in the input sequence.
+        label: the task's display label.
+        worker: id of the worker that ran (or was killed running) it.
+        seconds: task compute time (0.0 for timeouts/crashes).
+        attempt: 1-based attempt number that produced this event.
+        completed: tasks finally resolved so far (done + hung).
+        total: total number of tasks in the batch.
+    """
+
+    kind: str
+    index: int
+    label: str
+    worker: int
+    seconds: float
+    attempt: int
+    completed: int
+    total: int
+
+    def render(self) -> str:
+        """One-line progress rendering for the CLI."""
+        base = f"[worker {self.worker}] {self.completed}/{self.total} {self.label}"
+        if self.kind == "done":
+            return f"{base} done in {self.seconds:.2f}s"
+        if self.kind == "retry":
+            return f"{base} timed out/crashed on attempt {self.attempt}, retrying"
+        return f"{base} HUNG after {self.attempt} attempts"
+
+
+#: Progress callback type.
+ProgressFn = Callable[[PoolEvent], None]
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Pick a start method: ``fork`` where safe (fast), else ``spawn``.
+
+    macOS nominally offers ``fork`` but system frameworks abort in
+    forked children, so it gets ``spawn`` like Windows does.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and sys.platform != "darwin":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _worker_main(
+    worker_id: int,
+    fn: Callable[[Any], Any],
+    conn: "multiprocessing.connection.Connection",
+) -> None:
+    """Worker loop: receive one task at a time, run it, send the result.
+
+    Messages to the parent are ``("done", seconds, value)`` or
+    ``("error", seconds, repr)``; a ``None`` task is the shutdown
+    sentinel.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        _index, task = item
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            value = fn(task)
+        except BaseException as exc:  # noqa: BLE001 - report, parent decides
+            conn.send((
+                "error", time.perf_counter() - start,
+                time.process_time() - cpu_start, repr(exc),
+            ))
+        else:
+            conn.send((
+                "done", time.perf_counter() - start,
+                time.process_time() - cpu_start, value,
+            ))
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, and the task it is running."""
+
+    def __init__(self, worker_id: int, ctx, fn: Callable[[Any], Any]) -> None:
+        self.id = worker_id
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, fn, child_conn),
+            daemon=True,
+            name=f"tsotool-pool-{worker_id}",
+        )
+        self.process.start()
+        # The parent's copy of the child end must close so worker death
+        # surfaces as EOF on self.conn.
+        child_conn.close()
+        #: (task index, attempt, monotonic start) while busy, else None.
+        self.busy: Optional[Tuple[int, int, float]] = None
+
+    def assign(self, index: int, attempt: int, task: Any) -> None:
+        self.conn.send((index, task))
+        self.busy = (index, attempt, time.monotonic())
+
+    def kill(self) -> None:
+        """Terminate immediately (timeout path) and reap the process."""
+        self.process.terminate()
+        self.process.join(timeout=_SHUTDOWN_GRACE)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=_SHUTDOWN_GRACE)
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        """Polite shutdown (sentinel), escalating to terminate."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=_SHUTDOWN_GRACE)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    *,
+    workers: int = 1,
+    task_timeout: Optional[float] = None,
+    retries: int = 1,
+    labels: Optional[Sequence[str]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Tuple[List[Optional[Any]], PoolStats]:
+    """Run ``fn`` over ``tasks``, optionally sharded across processes.
+
+    Args:
+        fn: a picklable (module-level) function of one task.
+        tasks: picklable task specs; each must fully determine its own
+            result (carry its own seed) so ordering cannot matter.
+        workers: process count; ``<= 1`` runs inline with no
+            multiprocessing (and therefore no timeout enforcement).
+        task_timeout: hard per-task wall-clock limit in seconds; an
+            overdue worker is killed and the task retried or recorded
+            hung.  ``None`` disables the limit.
+        retries: how many *additional* attempts a crashed or timed-out
+            task gets before being recorded as hung (default: one).
+        labels: display names for progress events (defaults to
+            ``task[i]``'s ``str``).
+        progress: optional callback receiving a :class:`PoolEvent` per
+            completion, retry, and hang.
+
+    Returns:
+        ``(results, stats)`` where ``results[i]`` is ``fn(tasks[i])`` or
+        ``None`` for a hung task, in input order, and ``stats`` is the
+        batch :class:`~repro.core.result.PoolStats`.
+    """
+    tasks = list(tasks)
+    names = [str(t) for t in tasks] if labels is None else list(labels)
+    if len(names) != len(tasks):
+        raise ValueError("labels must match tasks one-to-one")
+    stats = PoolStats(tasks=len(tasks), workers=max(1, workers))
+    results: List[Optional[Any]] = [None] * len(tasks)
+    start = time.perf_counter()
+    if workers <= 1:
+        _run_inline(fn, tasks, names, results, stats, progress)
+    else:
+        _run_pool(
+            fn, tasks, names, results, stats,
+            workers=workers, task_timeout=task_timeout,
+            retries=retries, progress=progress,
+        )
+    stats.wall_seconds = time.perf_counter() - start
+    return results, stats
+
+
+def _run_inline(
+    fn: Callable[[Any], Any],
+    tasks: List[Any],
+    names: List[str],
+    results: List[Optional[Any]],
+    stats: PoolStats,
+    progress: Optional[ProgressFn],
+) -> None:
+    """The sequential path: identical to a plain loop over ``fn``."""
+    for index, task in enumerate(tasks):
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        results[index] = fn(task)
+        elapsed = time.perf_counter() - t0
+        stats.completed += 1
+        stats.cpu_seconds += time.process_time() - c0
+        stats.per_worker[0] = stats.per_worker.get(0, 0) + 1
+        if progress is not None:
+            progress(PoolEvent(
+                kind="done", index=index, label=names[index], worker=0,
+                seconds=elapsed, attempt=1, completed=stats.completed,
+                total=stats.tasks,
+            ))
+
+
+def _run_pool(
+    fn: Callable[[Any], Any],
+    tasks: List[Any],
+    names: List[str],
+    results: List[Optional[Any]],
+    stats: PoolStats,
+    *,
+    workers: int,
+    task_timeout: Optional[float],
+    retries: int,
+    progress: Optional[ProgressFn],
+) -> None:
+    """The multiprocessing path of :func:`run_tasks`."""
+    ctx = _mp_context()
+    nworkers = min(workers, len(tasks)) or 1
+    #: FIFO of (index, attempt) still to dispatch.
+    queue: List[Tuple[int, int]] = [(i, 1) for i in range(len(tasks))]
+    resolved = 0  # done + hung
+    pool: Dict[int, _Worker] = {}
+    next_id = 0
+
+    def emit(kind: str, index: int, worker: int, seconds: float, attempt: int) -> None:
+        if progress is not None:
+            progress(PoolEvent(
+                kind=kind, index=index, label=names[index], worker=worker,
+                seconds=seconds, attempt=attempt, completed=resolved,
+                total=stats.tasks,
+            ))
+
+    def spawn() -> _Worker:
+        nonlocal next_id
+        worker = _Worker(next_id, ctx, fn)
+        pool[worker.id] = worker
+        next_id += 1
+        return worker
+
+    def retry_or_hang(index: int, attempt: int, worker_id: int) -> None:
+        """A task's attempt died (crash or timeout): requeue or give up."""
+        nonlocal resolved
+        if attempt <= retries:
+            stats.retries += 1
+            queue.append((index, attempt + 1))
+            emit("retry", index, worker_id, 0.0, attempt)
+        else:
+            stats.hung += 1
+            resolved += 1
+            emit("hung", index, worker_id, 0.0, attempt)
+
+    def dispatch() -> None:
+        """Hand queued tasks to idle workers."""
+        for worker in pool.values():
+            if not queue:
+                return
+            if worker.busy is None:
+                index, attempt = queue.pop(0)
+                worker.assign(index, attempt, tasks[index])
+
+    for _ in range(nworkers):
+        spawn()
+    try:
+        while resolved < len(tasks):
+            dispatch()
+            ready = multiprocessing.connection.wait(
+                [w.conn for w in pool.values() if w.busy is not None],
+                timeout=_POLL_INTERVAL,
+            )
+            for conn in ready:
+                worker = next(w for w in pool.values() if w.conn is conn)
+                assert worker.busy is not None
+                index, attempt, _started = worker.busy
+                try:
+                    kind, seconds, cpu_seconds, payload = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-task; handled by the liveness scan.
+                    continue
+                worker.busy = None
+                if kind == "done":
+                    results[index] = payload
+                    stats.completed += 1
+                    stats.cpu_seconds += cpu_seconds
+                    stats.per_worker[worker.id] = (
+                        stats.per_worker.get(worker.id, 0) + 1
+                    )
+                    resolved += 1
+                    emit("done", index, worker.id, seconds, attempt)
+                else:  # "error": the task raised inside the worker.
+                    retry_or_hang(index, attempt, worker.id)
+            now = time.monotonic()
+            for worker in list(pool.values()):
+                if worker.busy is None:
+                    if not worker.process.is_alive():
+                        # Idle worker died (should not happen): replace it.
+                        del pool[worker.id]
+                        worker.kill()
+                        spawn()
+                    continue
+                index, attempt, started = worker.busy
+                overdue = (
+                    task_timeout is not None and now - started > task_timeout
+                )
+                if overdue or not worker.process.is_alive():
+                    del pool[worker.id]
+                    worker.kill()
+                    retry_or_hang(index, attempt, worker.id)
+                    spawn()
+    finally:
+        for worker in pool.values():
+            worker.shutdown()

@@ -20,11 +20,13 @@ checker on each, returning the series to print or benchmark.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.pool import ProgressFn, run_tasks
 from repro.core.api import make_checker
 from repro.core.policy import TSO, MemoryModel
+from repro.core.result import PoolStats
 from repro.generator.config import GeneratorConfig, InstructionMix
 from repro.generator.generator import generate_program
 from repro.model.expansion import expand
@@ -70,12 +72,20 @@ def measure_runtime(
     model: MemoryModel = TSO,
     engine: str = "closure",
     repeats: int = 1,
+    max_attempts: int = 3,
 ) -> RuntimePoint:
     """Generate one passing run and time its analysis.
 
     ``total_ops`` is split evenly across processors.  The reported time
     is the minimum over ``repeats`` checker invocations (generation and
     simulation are excluded — the paper times only the analysis).
+
+    The golden machine should always produce a passing run; if analysis
+    fails anyway (a checker bug, or a mis-tuned generator config), the
+    point is regenerated with a derived seed up to ``max_attempts``
+    times — *never* unboundedly — and then a :class:`RuntimeError`
+    naming the offending :class:`~repro.generator.config.GeneratorConfig`
+    is raised.
     """
     config = GeneratorConfig(
         nprocs=nprocs,
@@ -84,35 +94,75 @@ def measure_runtime(
         mix=_MEASURE_MIX,
         loop_prob=0.0,
     )
-    program = generate_program(config, seed=seed)
-    machine = TsoMachine(program, seed=seed, config=MachineConfig())
-    execution = machine.run()
-    aprog = expand(
-        execution, initial=program.initial, word_names=program.word_names
-    )
-    checker = make_checker(model, engine)
-    best: Optional[float] = None
-    result = None
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        result = checker.run(aprog)
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    assert result is not None
-    if not result.ok:
-        raise RuntimeError(
-            "golden machine produced a failing run — this is a bug: \n"
-            + result.explain()
+    max_attempts = max(1, max_attempts)
+    last_result = None
+    for attempt in range(max_attempts):
+        # Attempt 0 uses the caller's seed verbatim (the historical
+        # behaviour); retries derive fresh, well-separated seeds.
+        attempt_seed = seed + attempt * 1_000_003
+        program = generate_program(config, seed=attempt_seed)
+        machine = TsoMachine(program, seed=attempt_seed, config=MachineConfig())
+        execution = machine.run()
+        aprog = expand(
+            execution, initial=program.initial, word_names=program.word_names
         )
-    return RuntimePoint(
-        nprocs=nprocs,
-        shared_words=shared_words,
-        total_ops=total_ops,
-        nodes=result.stats.nodes,
-        edges=result.stats.edges,
-        iterations=result.stats.iterations,
-        seconds=best,
+        checker = make_checker(model, engine)
+        best: Optional[float] = None
+        result = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result = checker.run(aprog)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        assert result is not None and best is not None
+        if result.ok:
+            return RuntimePoint(
+                nprocs=nprocs,
+                shared_words=shared_words,
+                total_ops=total_ops,
+                nodes=result.stats.nodes,
+                edges=result.stats.edges,
+                iterations=result.stats.iterations,
+                seconds=best,
+            )
+        last_result = result
+    assert last_result is not None
+    raise RuntimeError(
+        f"no passing run after {max_attempts} attempt(s) on the golden "
+        f"machine (seed={seed}, model={model}, engine={engine!r}) — this "
+        f"is a checker or generator bug; generator config: {config!r}; "
+        "last failure:\n" + last_result.explain()
     )
+
+
+@dataclass
+class SweepResult:
+    """An ordered list of sweep points plus batch execution stats.
+
+    Behaves as a sequence of :class:`RuntimePoint` (iteration, indexing,
+    ``len``) so pre-pool callers keep working unchanged; ``stats`` adds
+    the :class:`~repro.core.result.PoolStats` of the batch.  Points
+    whose worker hung on every attempt are *omitted* from ``points``
+    but counted in ``stats.hung``.
+    """
+
+    points: List[RuntimePoint] = field(default_factory=list)
+    stats: Optional[PoolStats] = None
+
+    def __iter__(self) -> Iterator[RuntimePoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index):
+        return self.points[index]
+
+
+def _measure_task(task: Tuple[int, int, int, int, str]) -> RuntimePoint:
+    """Picklable pool entry point: measure one sweep point in a worker."""
+    nprocs, words, ops, seed, engine = task
+    return measure_runtime(nprocs, words, ops, seed=seed, engine=engine)
 
 
 def sweep_runtime(
@@ -121,16 +171,35 @@ def sweep_runtime(
     ops_points: Sequence[int],
     seed: int = 0,
     engine: str = "closure",
-) -> List[RuntimePoint]:
-    """Cartesian runtime sweep over processors × shared words × ops."""
-    points = []
+    workers: int = 1,
+    task_timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Cartesian runtime sweep over processors × shared words × ops.
+
+    With ``workers > 1`` points are measured across a process pool
+    (:mod:`repro.analysis.pool`); every point carries its own seed, so
+    the series is identical to the sequential sweep in any worker
+    configuration.  Note that concurrent points contend for cores, so
+    parallel sweeps trade per-point timing fidelity for wall-clock
+    throughput — use ``workers=1`` when publishing Fig. 8/9 numbers.
+    """
+    tasks: List[Tuple[int, int, int, int, str]] = []
     for nprocs in proc_counts:
         for words in word_counts:
             for ops in ops_points:
-                points.append(
-                    measure_runtime(nprocs, words, ops, seed=seed, engine=engine)
-                )
-    return points
+                tasks.append((nprocs, words, ops, seed, engine))
+    results, stats = run_tasks(
+        _measure_task,
+        tasks,
+        workers=workers,
+        task_timeout=task_timeout,
+        labels=[f"procs={t[0]} words={t[1]} ops={t[2]}" for t in tasks],
+        progress=progress,
+    )
+    return SweepResult(
+        points=[p for p in results if p is not None], stats=stats
+    )
 
 
 def format_series(points: Iterable[RuntimePoint], title: str) -> str:

@@ -43,6 +43,7 @@ from repro.generator.generator import generate_program
 from repro.generator.litmus import LITMUS_LIBRARY, litmus_by_name
 from repro.model.program import format_program, parse_litmus
 from repro.model.trace import Execution
+from repro.sim.cpus import cpu_by_name, CPU_CONFIGS
 from repro.sim.machine import MachineConfig, TsoMachine
 
 _MODELS = {"TSO": TSO, "SC": SC, "PSO": PSO}
@@ -181,9 +182,27 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _pool_progress(event) -> None:
+    """Per-task progress line on stderr (parallel runs only)."""
+    print(event.render(), file=sys.stderr)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     config = CampaignConfig(tests_per_bug=args.tests_per_bug, seed=args.seed)
-    result = run_campaign(config=config)
+    kwargs = {}
+    if args.cpu:
+        kwargs["cpus"] = [cpu_by_name(name) for name in args.cpu]
+    try:
+        result = run_campaign(
+            config=config,
+            workers=args.workers,
+            task_timeout=args.task_timeout,
+            progress=_pool_progress if args.workers > 1 else None,
+            **kwargs,
+        )
+    except Exception as exc:  # noqa: BLE001 - campaign crashed mid-hunt
+        print(f"campaign crashed mid-hunt: {exc}", file=sys.stderr)
+        return 2
     if args.table in (0, 1):
         print("Table 1: bugs found, by class")
         print(format_table1(result))
@@ -193,12 +212,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(format_table2(result))
         print()
     missed = result.missed()
+    hung = result.hung_hunts()
     print(
         f"{len(result.hunts) - len(missed)}/{len(result.hunts)} seeded bugs "
-        f"detected in {result.seconds:.1f}s"
+        f"detected in {result.wall_seconds:.1f}s wall clock "
+        f"({result.cpu_seconds:.1f}s analysis CPU)"
     )
+    if result.stats is not None:
+        print(result.stats.throughput_line())
     for hunt in missed:
-        print(f"  missed: {hunt.spec.name} ({hunt.spec.mechanism.__name__})")
+        tag = "hung" if hunt.hung else "missed"
+        print(f"  {tag}: {hunt.spec.name} ({hunt.spec.mechanism.__name__})")
+    if hung:
+        return 2
+    if missed:
+        return 1
     return 0
 
 
@@ -214,18 +242,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_runtime(args: argparse.Namespace) -> int:
+    pool_kwargs = dict(
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        progress=_pool_progress if args.workers > 1 else None,
+    )
     if args.figure == 8:
         points = sweep_runtime(
             proc_counts=[2, 4, 8, 16], word_counts=[16],
             ops_points=args.ops_points, seed=args.seed, engine=args.engine,
+            **pool_kwargs,
         )
         print(format_series(points, "Fig. 8: analysis time vs ops, by processor count"))
     else:
         points = sweep_runtime(
             proc_counts=[4], word_counts=[4, 16, 64],
             ops_points=args.ops_points, seed=args.seed, engine=args.engine,
+            **pool_kwargs,
         )
         print(format_series(points, "Fig. 9: analysis time vs ops, by shared addresses"))
+    if points.stats is not None and args.workers > 1:
+        print(points.stats.throughput_line())
+    if points.stats is not None and points.stats.hung:
+        print(
+            f"{points.stats.hung} sweep point(s) hung and were dropped",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -280,11 +323,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true", help="print violation chains")
     p.set_defaults(func=_cmd_litmus)
 
-    p = sub.add_parser("campaign", help="regenerate Tables 1 and 2")
+    p = sub.add_parser(
+        "campaign",
+        help="regenerate Tables 1 and 2",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  campaign completed and every seeded bug was detected\n"
+            "  1  campaign completed but some seeded bugs went undetected\n"
+            "  2  a hunt hung (worker timeout/crash after retry) or the\n"
+            "     campaign crashed mid-hunt\n"
+            "\n"
+            "Results are hunt-for-hunt identical for any --workers value\n"
+            "given the same --seed (see docs/parallel-campaigns.md)."
+        ),
+    )
     p.add_argument("--table", type=int, choices=[0, 1, 2], default=0,
                    help="which table (0 = both)")
     p.add_argument("--tests-per-bug", type=int, default=10)
     p.add_argument("--seed", type=int, default=2004)
+    p.add_argument("--cpu", action="append",
+                   choices=[c.name for c in CPU_CONFIGS],
+                   help="restrict to this CPU (repeatable; default: all six)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the hunts (default: 1, sequential)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="hard per-hunt timeout in seconds (workers > 1 only)")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
@@ -300,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[400, 800, 1600, 3200])
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", choices=["closure", "baseline", "matrix"], default="closure")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sweep points (default: 1); "
+                        "parallel points contend for cores, so keep 1 when "
+                        "publishing timing numbers")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="hard per-point timeout in seconds (workers > 1 only)")
     p.set_defaults(func=_cmd_runtime)
 
     return parser

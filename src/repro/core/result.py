@@ -67,6 +67,90 @@ class Violation:
 
 
 @dataclass
+class PoolStats:
+    """Execution accounting for a batch of analysis tasks.
+
+    Produced by :func:`repro.analysis.pool.run_tasks` for campaign hunts
+    and runtime-sweep points; rendered by the CLI and by
+    :mod:`repro.analysis.report`.  ``wall_seconds`` is elapsed time
+    around the whole batch; ``cpu_seconds`` is the *sum* of per-task
+    compute time across all workers — with one worker the two are nearly
+    equal, with N workers ``cpu_seconds`` may approach
+    ``N * wall_seconds``.  The two must never be conflated as "analysis
+    time".
+
+    The object is JSON-serializable via :meth:`to_dict` /
+    :meth:`from_dict` so batch results can be archived next to the
+    benchmark artifacts.
+    """
+
+    tasks: int = 0
+    completed: int = 0
+    hung: int = 0
+    retries: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    #: tasks completed per worker id — the per-worker progress summary.
+    per_worker: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def tasks_per_second(self) -> float:
+        """Completed-task throughput against wall-clock time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def throughput_line(self) -> str:
+        """One-line summary: the final line the campaign CLI prints."""
+        return (
+            f"{self.completed}/{self.tasks} tasks in "
+            f"{self.wall_seconds:.1f}s wall ({self.cpu_seconds:.1f}s CPU, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"{self.tasks_per_second:.2f} tasks/s, "
+            f"{self.hung} hung, {self.retries} retries)"
+        )
+
+    def worker_lines(self) -> List[str]:
+        """Per-worker completion counts, one line per worker."""
+        return [
+            f"worker {wid}: {count} task{'s' if count != 1 else ''}"
+            for wid, count in sorted(self.per_worker.items())
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (per-worker keys become strings)."""
+        return {
+            "tasks": self.tasks,
+            "completed": self.completed,
+            "hung": self.hung,
+            "retries": self.retries,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "per_worker": {str(k): v for k, v in self.per_worker.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PoolStats":
+        """Inverse of :meth:`to_dict`."""
+        per_worker = {
+            int(k): int(v)
+            for k, v in dict(data.get("per_worker", {})).items()  # type: ignore[arg-type]
+        }
+        return cls(
+            tasks=int(data.get("tasks", 0)),  # type: ignore[arg-type]
+            completed=int(data.get("completed", 0)),  # type: ignore[arg-type]
+            hung=int(data.get("hung", 0)),  # type: ignore[arg-type]
+            retries=int(data.get("retries", 0)),  # type: ignore[arg-type]
+            workers=int(data.get("workers", 1)),  # type: ignore[arg-type]
+            wall_seconds=float(data.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+            cpu_seconds=float(data.get("cpu_seconds", 0.0)),  # type: ignore[arg-type]
+            per_worker=per_worker,
+        )
+
+
+@dataclass
 class CheckStats:
     """Bookkeeping about one analysis run (feeds the Fig. 8/9 harness)."""
 

@@ -435,6 +435,25 @@ class TraceCorruptionFault(Fault):
         return rec
 
 
+class HangFault(Fault):
+    """Deliberately wedges the machine on its first load (test scaffolding).
+
+    Models a hardware hang / livelock: the simulation never completes,
+    so the run can only end via the campaign pool's per-task timeout.
+    Used by the timeout-injection tests; never part of a CPU roster and
+    not a paper bug class.  The hang ignores ``rate`` — it is
+    unconditional, so behaviour does not depend on RNG state.
+    """
+
+    default_unit = FuncUnit.NONE
+
+    def translate_load(self, cpu: int, addr: int) -> int:
+        import time as _time
+
+        while True:  # pragma: no cover - only ever killed from outside
+            _time.sleep(0.05)
+
+
 #: Mechanisms by functional unit, used by rosters to pick a mechanism for
 #: a bug of a given unit.
 MECHANISMS_BY_UNIT = {

@@ -11,10 +11,11 @@ from repro.analysis.campaign import (
     hunt_bug,
     run_campaign,
 )
-from repro.sim.cpus import CPU_CONFIGS, BugSpec, cpu_by_name
+from repro.sim.cpus import CPU_CONFIGS, BugSpec, CpuConfig, cpu_by_name
 from repro.sim.faults import (
     BugClass,
     FuncUnit,
+    HangFault,
     MonitorFalseAlarmFault,
     StaleForwardFault,
     TraceCorruptionFault,
@@ -102,3 +103,54 @@ class TestCampaignTables:
         assert set(grouped) == {"CPU1", "CPU2"}
         assert len(grouped["CPU1"]) == 3
         assert len(grouped["CPU2"]) == 7
+
+    def test_wall_and_cpu_seconds_split(self, small_campaign):
+        # Sequential campaign: both axes populated, and the deprecated
+        # alias keeps pointing at wall clock.
+        assert small_campaign.wall_seconds > 0
+        assert small_campaign.cpu_seconds >= 0
+        assert small_campaign.seconds == small_campaign.wall_seconds
+        assert small_campaign.stats is not None
+        assert small_campaign.stats.completed == len(small_campaign.hunts)
+
+
+class TestParallelCampaign:
+    def test_workers4_hunt_for_hunt_identical_to_sequential(self):
+        # The seed-determinism contract: every BugHunt record — spec,
+        # detection verdict, tests_run, detecting seed, triage text —
+        # must be identical whatever the worker count.
+        cpus = [cpu_by_name("CPU1"), cpu_by_name("CPU2")]
+        config = CampaignConfig(tests_per_bug=4)
+        sequential = run_campaign(cpus=cpus, config=config, workers=1)
+        parallel = run_campaign(cpus=cpus, config=config, workers=4)
+        assert parallel.hunts == sequential.hunts
+
+    def test_timeout_injection_records_hung_hunt(self):
+        # A deliberately hung fault wedges the simulated machine; the
+        # pool's per-task timeout must kill the worker (twice: retry
+        # once) and record the hunt as hung, never block the campaign.
+        hang = BugSpec(
+            name="HANG-bug01", mechanism=HangFault,
+            unit=FuncUnit.NONE, bug_class=BugClass.DESIGN, rate=1.0,
+        )
+        live = BugSpec(
+            name="HANG-bug02", mechanism=StaleForwardFault,
+            unit=FuncUnit.LSU, bug_class=BugClass.DESIGN,
+        )
+        cpu = CpuConfig(
+            name="HANGCPU", description="timeout-injection test roster",
+            bugs=(hang, live),
+        )
+        result = run_campaign(
+            cpus=[cpu], config=CampaignConfig(tests_per_bug=4),
+            workers=2, task_timeout=2.0,
+        )
+        hung = result.hung_hunts()
+        assert [h.spec.name for h in hung] == ["HANG-bug01"]
+        assert not hung[0].detected and hung[0].tests_run == 0
+        assert hung[0] in result.missed()
+        assert result.stats.hung == 1
+        assert result.stats.retries == 1
+        # The healthy hunt of the same roster still completes.
+        other = next(h for h in result.hunts if h.spec.name == "HANG-bug02")
+        assert other.detected

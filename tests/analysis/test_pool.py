@@ -1,0 +1,144 @@
+"""Tests for the parallel execution engine behind campaigns and sweeps."""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.pool import PoolEvent, run_tasks
+from repro.core.result import PoolStats
+
+
+def _square(task):
+    return task * task
+
+
+def _misbehave(task):
+    """Task behaviours keyed by kind: ok / sleep / crash / raise."""
+    kind, n = task
+    if kind == "sleep":
+        time.sleep(60)
+    if kind == "crash":
+        os._exit(3)
+    if kind == "raise":
+        raise ValueError("boom")
+    return n * n
+
+
+class TestInline:
+    def test_results_in_order(self):
+        results, stats = run_tasks(_square, [1, 2, 3, 4])
+        assert results == [1, 4, 9, 16]
+        assert stats.completed == stats.tasks == 4
+        assert stats.hung == stats.retries == 0
+        assert stats.workers == 1
+
+    def test_wall_and_cpu_seconds_populated(self):
+        _, stats = run_tasks(_square, list(range(50)))
+        assert stats.wall_seconds > 0
+        assert stats.cpu_seconds >= 0
+
+    def test_progress_events(self):
+        events = []
+        run_tasks(_square, [5, 6], progress=events.append)
+        assert [e.kind for e in events] == ["done", "done"]
+        assert [e.completed for e in events] == [1, 2]
+        assert events[0].total == 2
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_tasks(_square, [1, 2], labels=["only-one"])
+
+
+class TestParallel:
+    def test_matches_inline_results(self):
+        tasks = list(range(20))
+        inline, _ = run_tasks(_square, tasks, workers=1)
+        parallel, stats = run_tasks(_square, tasks, workers=4)
+        assert parallel == inline
+        assert stats.completed == 20
+        assert sum(stats.per_worker.values()) == 20
+
+    def test_timeout_kills_and_records_hung(self):
+        tasks = [("ok", 1), ("sleep", 2), ("ok", 3)]
+        results, stats = run_tasks(
+            _misbehave, tasks, workers=2, task_timeout=0.5
+        )
+        assert results == [1, None, 9]
+        assert stats.hung == 1
+        assert stats.retries == 1  # retried once before giving up
+        assert stats.completed == 2
+
+    def test_worker_crash_is_retried_then_hung(self):
+        tasks = [("ok", 1), ("crash", 2)]
+        results, stats = run_tasks(_misbehave, tasks, workers=2)
+        assert results == [1, None]
+        assert stats.hung == 1
+        assert stats.retries == 1
+
+    def test_task_exception_is_not_fatal(self):
+        tasks = [("raise", 1), ("ok", 2)]
+        results, stats = run_tasks(_misbehave, tasks, workers=2)
+        assert results == [None, 4]
+        assert stats.hung == 1
+
+    def test_progress_reports_retries_and_hangs(self):
+        events = []
+        run_tasks(
+            _misbehave, [("sleep", 1)], workers=2,
+            task_timeout=0.3, progress=events.append,
+        )
+        kinds = [e.kind for e in events]
+        assert kinds == ["retry", "hung"]
+        assert "retrying" in events[0].render()
+        assert "HUNG" in events[1].render()
+
+    def test_more_workers_than_tasks(self):
+        results, stats = run_tasks(_square, [7], workers=8)
+        assert results == [49]
+
+
+class TestPoolEvent:
+    def test_done_rendering(self):
+        event = PoolEvent(
+            kind="done", index=0, label="CPU1-bug01", worker=2,
+            seconds=1.25, attempt=1, completed=3, total=10,
+        )
+        text = event.render()
+        assert "[worker 2]" in text and "3/10" in text
+        assert "CPU1-bug01" in text and "1.25s" in text
+
+
+class TestPoolStats:
+    def test_round_trips_through_dict(self):
+        stats = PoolStats(
+            tasks=10, completed=8, hung=2, retries=3, workers=4,
+            wall_seconds=1.5, cpu_seconds=5.0, per_worker={0: 5, 3: 3},
+        )
+        assert PoolStats.from_dict(stats.to_dict()) == stats
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        stats = PoolStats(tasks=2, completed=2, per_worker={1: 2})
+        assert json.loads(json.dumps(stats.to_dict()))["per_worker"] == {"1": 2}
+
+    def test_throughput_line(self):
+        stats = PoolStats(
+            tasks=6, completed=5, hung=1, retries=2, workers=3,
+            wall_seconds=2.0, cpu_seconds=5.5,
+        )
+        line = stats.throughput_line()
+        assert "5/6 tasks" in line
+        assert "2.0s wall" in line and "5.5s CPU" in line
+        assert "2.50 tasks/s" in line
+        assert "1 hung" in line and "2 retries" in line
+
+    def test_worker_lines(self):
+        stats = PoolStats(per_worker={2: 1, 0: 4})
+        assert stats.worker_lines() == [
+            "worker 0: 4 tasks", "worker 2: 1 task",
+        ]
+
+    def test_zero_wall_throughput(self):
+        assert PoolStats(tasks=1, completed=1).tasks_per_second == 0.0

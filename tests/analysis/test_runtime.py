@@ -2,8 +2,10 @@
 
 import pytest
 
+import repro.analysis.runtime as runtime_mod
 from repro.analysis.runtime import (
     RuntimePoint,
+    SweepResult,
     format_series,
     measure_runtime,
     sweep_runtime,
@@ -35,6 +37,67 @@ class TestMeasureRuntime:
     def test_repeats_take_minimum(self):
         a = measure_runtime(nprocs=2, shared_words=4, total_ops=60, seed=3, repeats=3)
         assert a.seconds > 0
+
+    def test_failing_runs_capped_not_unbounded(self, monkeypatch):
+        # Force every analysis to fail: generation must be retried a
+        # bounded number of times, then raise an error naming the
+        # generator config — never loop forever.
+        calls = []
+        real = runtime_mod.make_checker
+
+        class _AlwaysFail:
+            def run(self, aprog):
+                calls.append(1)
+                result = real(runtime_mod.TSO, "closure").run(aprog)
+                result.ok = False
+                if result.violation is None:
+                    from repro.core.result import Violation, ViolationKind
+
+                    result.violation = Violation(
+                        kind=ViolationKind.PRECHECK, message="injected failure"
+                    )
+                return result
+
+        monkeypatch.setattr(
+            runtime_mod, "make_checker", lambda model, engine: _AlwaysFail()
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            measure_runtime(
+                nprocs=2, shared_words=4, total_ops=40, seed=1, max_attempts=3
+            )
+        message = str(excinfo.value)
+        assert "3 attempt(s)" in message
+        assert "GeneratorConfig" in message  # names the offending config
+        assert len(calls) == 3  # capped, one checker run per attempt
+
+    def test_retry_uses_derived_seed_then_succeeds(self, monkeypatch):
+        # First attempt "fails", second runs the real checker: the
+        # measurement must come back from a retried, derived seed.
+        real = runtime_mod.make_checker
+        state = {"attempt": 0}
+
+        class _FailOnce:
+            def __init__(self, model, engine):
+                self.inner = real(model, engine)
+
+            def run(self, aprog):
+                result = self.inner.run(aprog)
+                state["attempt"] += 1
+                if state["attempt"] == 1:
+                    result.ok = False
+                    from repro.core.result import Violation, ViolationKind
+
+                    result.violation = Violation(
+                        kind=ViolationKind.PRECHECK, message="injected failure"
+                    )
+                return result
+
+        monkeypatch.setattr(runtime_mod, "make_checker", _FailOnce)
+        point = measure_runtime(
+            nprocs=2, shared_words=4, total_ops=40, seed=1, max_attempts=3
+        )
+        assert state["attempt"] == 2
+        assert point.total_ops == 40
 
     def test_row_rendering(self):
         point = RuntimePoint(
@@ -68,3 +131,27 @@ class TestSweep:
         text = format_series(points, "title")
         assert text.splitlines()[0] == "title"
         assert len(text.splitlines()) == 2
+
+    def test_sweep_result_is_sequence_like_with_stats(self):
+        result = sweep_runtime(
+            proc_counts=[2], word_counts=[4], ops_points=[40, 80], seed=0
+        )
+        assert isinstance(result, SweepResult)
+        assert len(result) == 2
+        assert result[0].total_ops == 40
+        assert [p.total_ops for p in result] == [40, 80]
+        assert result.stats is not None
+        assert result.stats.completed == 2
+        assert result.stats.wall_seconds > 0
+
+    def test_parallel_sweep_same_series_as_sequential(self):
+        kwargs = dict(
+            proc_counts=[2, 4], word_counts=[4], ops_points=[40, 80], seed=3
+        )
+        sequential = sweep_runtime(**kwargs, workers=1)
+        parallel = sweep_runtime(**kwargs, workers=3)
+        # Graph shape is deterministic per point seed; only wall-clock
+        # timing may differ between the two runs.
+        shape = lambda p: (p.nprocs, p.shared_words, p.total_ops,
+                           p.nodes, p.edges, p.iterations)
+        assert [shape(p) for p in parallel] == [shape(p) for p in sequential]

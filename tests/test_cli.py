@@ -82,25 +82,96 @@ class TestLitmus:
 
 
 class TestCampaignAndRuntime:
-    def test_campaign_single_cpu_speed_friendly(self, capsys, monkeypatch):
+    def test_campaign_single_cpu_speed_friendly(self, capsys):
         # Restrict to CPU1 to keep the CLI test fast.
-        import repro.cli as cli
-        from repro.sim.cpus import cpu_by_name
+        code = main(["campaign", "--table", "1", "--tests-per-bug", "8",
+                     "--cpu", "CPU1"])
+        assert code == 0  # all of CPU1's bugs detected -> success exit
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "CPU1" in out
+        assert "wall clock" in out and "analysis CPU" in out
 
+    def test_campaign_parallel_workers(self, capsys):
+        code = main(["campaign", "--table", "1", "--tests-per-bug", "8",
+                     "--cpu", "CPU1", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out and "workers" in out  # throughput line
+
+    def test_campaign_exit_1_when_bugs_missed(self, capsys, monkeypatch):
+        # A zero-rate bug can never fire: the campaign completes but the
+        # bug goes undetected, which must surface as exit code 1.
+        import repro.cli as cli
+        from repro.sim.cpus import BugSpec, CpuConfig
+        from repro.sim.faults import BugClass, FuncUnit, StaleForwardFault
+
+        dud = CpuConfig(
+            name="DUDCPU", description="undetectable roster",
+            bugs=(BugSpec(
+                name="DUD-bug01", mechanism=StaleForwardFault,
+                unit=FuncUnit.LSU, bug_class=BugClass.DESIGN, rate=0.0,
+            ),),
+        )
         real = cli.run_campaign
         monkeypatch.setattr(
             cli, "run_campaign",
-            lambda config: real(cpus=[cpu_by_name("CPU1")], config=config),
+            lambda cpus=None, **kw: real(cpus=[dud], **kw),
         )
-        assert main(["campaign", "--table", "1", "--tests-per-bug", "6"]) == 0
+        code = main(["campaign", "--tests-per-bug", "2"])
+        assert code == 1
+        assert "missed: DUD-bug01" in capsys.readouterr().out
+
+    def test_campaign_exit_2_when_hunt_hangs(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.sim.cpus import BugSpec, CpuConfig
+        from repro.sim.faults import BugClass, FuncUnit, HangFault
+
+        hang = CpuConfig(
+            name="HANGCPU", description="hung roster",
+            bugs=(BugSpec(
+                name="HANG-bug01", mechanism=HangFault,
+                unit=FuncUnit.NONE, bug_class=BugClass.DESIGN, rate=1.0,
+            ),),
+        )
+        real = cli.run_campaign
+        monkeypatch.setattr(
+            cli, "run_campaign",
+            lambda cpus=None, **kw: real(cpus=[hang], **kw),
+        )
+        code = main(["campaign", "--tests-per-bug", "2", "--workers", "2",
+                     "--task-timeout", "1.5"])
+        assert code == 2
+        assert "hung: HANG-bug01" in capsys.readouterr().out
+
+    def test_campaign_exit_2_when_campaign_crashes(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(**kwargs):
+            raise RuntimeError("mid-hunt crash")
+
+        monkeypatch.setattr(cli, "run_campaign", boom)
+        assert main(["campaign"]) == 2
+
+    def test_campaign_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--help"])
         out = capsys.readouterr().out
-        assert "Table 1" in out and "CPU1" in out
+        assert "exit codes" in out
+        assert "hung" in out
 
     def test_runtime_figure9(self, capsys):
         assert main(["runtime", "--figure", "9", "--ops-points", "40", "80"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 9" in out
         assert out.count("procs=4") == 6  # 3 word counts x 2 ops points
+
+    def test_runtime_parallel_workers(self, capsys):
+        code = main(["runtime", "--figure", "9", "--ops-points", "40",
+                     "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        assert "tasks" in out  # throughput line printed for workers > 1
 
 
 class TestHtmlAndGraphArtifacts:
