@@ -1,0 +1,102 @@
+"""Scheduler-path overhead: the policy indirection and the PSO drain scan.
+
+Two questions the ``repro.sched`` refactor raises:
+
+1. Did routing every nondeterministic decision through a
+   ``SchedulePolicy`` slow the simulator down?  (It should not — the
+   default ``RandomPolicy`` makes the exact RNG calls the machine used
+   to make inline.)
+2. Did hoisting the PSO eligibility scan's word-set construction into
+   ``BufferedStore.word_set`` (a ``cached_property``) pay off?  The scan
+   runs once per drain decision; before the hoist it rebuilt a
+   ``frozenset`` per entry per scan.
+
+Records ``benchmarks/results/sched_overhead.txt``.
+"""
+
+import time
+
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.sim.machine import MachineConfig, TsoMachine
+from repro.sim.storebuffer import BufferedStore, StoreBuffer
+
+GEN = GeneratorConfig(nprocs=4, ops_per_proc=120, shared_words=8)
+
+#: Eligibility-scan micro-bench shape: a deep buffer with overlapping
+#: word sets, scanned many times (as a long PSO run would).
+BUFFER_DEPTH = 8
+SCAN_ITERS = 20_000
+
+
+def _legacy_eligible(buffer):
+    """The pre-hoist scan: rebuilds each entry's word set on every call."""
+    eligible = []
+    seen_words = set()
+    for idx, entry in enumerate(buffer.entries()):
+        words = frozenset(addr for addr, _value in entry.words)
+        if not (words & seen_words):
+            eligible.append(idx)
+        seen_words |= words
+    return eligible
+
+
+def _make_buffer():
+    buffer = StoreBuffer(capacity=BUFFER_DEPTH)
+    for i in range(BUFFER_DEPTH):
+        words = tuple((8 * ((i + k) % 5), i) for k in range(2))
+        buffer.push(BufferedStore(words=words, tag=f"e{i}"))
+    return buffer
+
+
+def _time_scan(scan, buffer):
+    start = time.perf_counter()
+    for _ in range(SCAN_ITERS):
+        scan(buffer)
+    return time.perf_counter() - start
+
+
+def _time_pso_runs(nruns=6):
+    config = MachineConfig(pso_mode=True, drain_bias=0.2)
+    total = 0.0
+    decisions = 0
+    for seed in range(nruns):
+        program = generate_program(GEN, seed=seed)
+        machine = TsoMachine(program, seed=seed, config=config)
+        start = time.perf_counter()
+        machine.run()
+        total += time.perf_counter() - start
+        decisions += machine.stats.sched_decisions
+    return total, decisions
+
+
+def test_sched_overhead(benchmark, record):
+    buffer = _make_buffer()
+    # Warm both paths (and populate the word_set caches) before timing.
+    _legacy_eligible(buffer)
+    TsoMachine._pso_eligible(buffer)
+    legacy = min(_time_scan(_legacy_eligible, buffer) for _ in range(3))
+    cached = min(
+        _time_scan(TsoMachine._pso_eligible, buffer) for _ in range(3)
+    )
+
+    run_seconds, decisions = _time_pso_runs()
+    per_decision_us = run_seconds / decisions * 1e6
+
+    record(
+        "sched_overhead",
+        "Scheduler-path overhead\n"
+        f"  PSO eligibility scan, depth={BUFFER_DEPTH}, "
+        f"{SCAN_ITERS} iters (best of 3):\n"
+        f"    legacy (rebuild word sets) = {legacy * 1e3:7.1f}ms\n"
+        f"    cached word_set            = {cached * 1e3:7.1f}ms "
+        f"({legacy / cached:4.1f}x)\n"
+        f"  Full PSO runs through RandomPolicy: {decisions} scheduler "
+        f"decisions in {run_seconds:.2f}s "
+        f"({per_decision_us:.1f}us/decision, simulation inclusive)",
+    )
+
+    # The hoist must not be a regression; in practice it is a clear win
+    # because the per-entry frozensets are built once, not per scan.
+    assert cached <= legacy * 1.10
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

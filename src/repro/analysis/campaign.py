@@ -19,16 +19,20 @@ and by functional unit (Table 2).
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.pool import ProgressFn, run_tasks
+from repro.analysis.replay import hunt_trace_meta
 from repro.core.api import check
 from repro.core.policy import TSO, MemoryModel
 from repro.core.result import PoolStats
 from repro.generator.config import GeneratorConfig, InstructionMix
 from repro.generator.generator import generate_program
+from repro.sched.spec import SchedSpec, make_policy
+from repro.sched.trace import RecordingPolicy
 from repro.sim.cpus import CPU_CONFIGS, BugSpec, CpuConfig
 from repro.sim.faults import BugClass, FuncUnit
 from repro.sim.machine import MachineConfig, TsoMachine
@@ -46,6 +50,11 @@ class CampaignConfig:
         machine: machine tunables for every run.
         model: memory model checked against.
         seed: campaign master seed (everything derives from it).
+        sched: schedule-exploration strategy for every run
+            (:class:`~repro.sched.spec.SchedSpec`).  The spec — not a
+            live policy — is what gets pickled to pool workers; each
+            attempt instantiates a fresh policy from it, so parallel and
+            sequential campaigns stay hunt-for-hunt identical.
     """
 
     tests_per_bug: int = 10
@@ -64,6 +73,7 @@ class CampaignConfig:
     machine: MachineConfig = field(default_factory=MachineConfig)
     model: MemoryModel = TSO
     seed: int = 2004
+    sched: SchedSpec = field(default_factory=SchedSpec)
 
 
 @dataclass
@@ -74,6 +84,12 @@ class BugHunt:
     timeout on every attempt (see :mod:`repro.analysis.pool`); such a
     hunt ran no conclusive tests and is counted as undetected *and*
     reported separately — never silently dropped.
+
+    ``schedule`` holds the complete JSON :class:`ScheduleTrace` of the
+    detecting run (None for undetected hunts): every scheduler decision
+    plus the reconstruction metadata, so the failure can be re-executed
+    exactly with :func:`repro.analysis.replay.replay_hunt` — even from a
+    different process than the pool worker that found it.
     """
 
     spec: BugSpec
@@ -83,6 +99,7 @@ class BugHunt:
     detected_on_seed: Optional[int] = None
     via: str = ""
     hung: bool = False
+    schedule: Optional[str] = None
 
     @property
     def unit(self) -> FuncUnit:
@@ -110,6 +127,9 @@ class CampaignResult:
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
     stats: Optional[PoolStats] = None
+    #: Human-readable scheduler description (``SchedSpec.describe()``)
+    #: of the campaign that produced these hunts.
+    sched: str = "random"
 
     @property
     def seconds(self) -> float:
@@ -154,6 +174,21 @@ class CampaignResult:
             rows.append((cpu, counts))
         return rows
 
+    def detection_rate(self) -> float:
+        """Fraction of seeded bugs detected (0.0 with no hunts)."""
+        if not self.hunts:
+            return 0.0
+        return sum(1 for h in self.hunts if h.detected) / len(self.hunts)
+
+    def detection_line(self) -> str:
+        """One-line per-policy effectiveness summary for reports."""
+        detected = sum(1 for h in self.hunts if h.detected)
+        tests = sum(h.tests_run for h in self.hunts)
+        return (
+            f"sched={self.sched}: {detected}/{len(self.hunts)} bugs detected "
+            f"({100.0 * self.detection_rate():.1f}%) in {tests} tests"
+        )
+
     def missed(self) -> List[BugHunt]:
         """Hunts that ended without a detection (including hung ones)."""
         return [h for h in self.hunts if not h.detected]
@@ -184,7 +219,8 @@ def hunt_bug(
         program = generate_program(config.generator, seed=seed)
         fault = spec.instantiate()
         machine = TsoMachine(
-            program, seed=seed, config=config.machine, faults=[fault]
+            program, seed=seed, config=config.machine, faults=[fault],
+            policy=make_policy(config.sched, seed=seed),
         )
         observed = machine.run()
         detected, via = _triage(spec, program, machine, observed, config.model)
@@ -192,10 +228,35 @@ def hunt_bug(
             return BugHunt(
                 spec=spec, cpu=cpu_name, detected=True,
                 tests_run=attempt + 1, detected_on_seed=seed, via=via,
+                schedule=_record_detection(spec, cpu_name, config, seed, via),
             )
     return BugHunt(
         spec=spec, cpu=cpu_name, detected=False, tests_run=config.tests_per_bug
     )
+
+
+def _record_detection(
+    spec: BugSpec, cpu_name: str, config: CampaignConfig, seed: int, via: str
+) -> str:
+    """Re-run the detecting attempt under a recorder; return the trace JSON.
+
+    Program, fault and policy are all rebuilt from the same seeds, so the
+    recorded run is the detected run; the one extra simulation per
+    detected bug is noise next to the attempts that led to it.
+    """
+    recorder = RecordingPolicy(make_policy(config.sched, seed=seed))
+    recorder.trace.meta.update(
+        hunt_trace_meta(
+            spec, cpu_name, config.generator, config.machine, config.model,
+            seed, via,
+        )
+    )
+    program = generate_program(config.generator, seed=seed)
+    TsoMachine(
+        program, seed=seed, config=config.machine,
+        faults=[spec.instantiate()], policy=recorder,
+    ).run()
+    return recorder.trace.to_json()
 
 
 def _triage(
@@ -235,6 +296,7 @@ def run_campaign(
     workers: int = 1,
     task_timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
+    record_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Hunt every seeded bug of every CPU; return the full result.
 
@@ -245,6 +307,11 @@ def run_campaign(
     hunt-for-hunt identical to the sequential path for the same master
     seed.  A hunt whose worker crashes or exceeds ``task_timeout`` twice
     is recorded with ``hung=True`` (and counts as undetected).
+
+    With ``record_dir`` set, every detected hunt's
+    :class:`~repro.sched.trace.ScheduleTrace` is persisted there as
+    ``<bug-name>.schedule.json`` — each file replayable on its own with
+    ``tsotool replay`` / :func:`repro.analysis.replay.replay_hunt`.
     """
     config = config or CampaignConfig()
     tasks: List[Tuple[BugSpec, str, CampaignConfig, int]] = []
@@ -268,11 +335,20 @@ def run_campaign(
                 via="worker crashed or timed out", hung=True,
             )
         hunts.append(hunt)
+    if record_dir is not None:
+        os.makedirs(record_dir, exist_ok=True)
+        for hunt in hunts:
+            if hunt.schedule is None:
+                continue
+            path = os.path.join(record_dir, f"{hunt.spec.name}.schedule.json")
+            with open(path, "w") as fh:
+                fh.write(hunt.schedule + "\n")
     return CampaignResult(
         hunts=hunts,
         wall_seconds=stats.wall_seconds,
         cpu_seconds=stats.cpu_seconds,
         stats=stats,
+        sched=config.sched.describe(),
     )
 
 

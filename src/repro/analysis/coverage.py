@@ -183,5 +183,7 @@ def measure_coverage(
             "ipis_delivered": stats.ipis_delivered,
             "writebacks": stats.writebacks,
             "snoop_hits": stats.snoop_hits,
+            "sched_policy": machine.policy.name,
+            "sched_decisions": stats.sched_decisions,
         }
     return report

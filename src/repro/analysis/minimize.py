@@ -26,9 +26,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.api import check_execution
-from repro.core.policy import TSO, MemoryModel
+from repro.core.policy import PSO, SC, TSO, MemoryModel
 from repro.core.result import CheckResult, ViolationKind
 from repro.model.trace import DynRecord, Execution
+from repro.sched.trace import ScheduleTrace
 
 
 @dataclass
@@ -98,6 +99,37 @@ def minimize_failure(
         result=result,
         original_records=execution.total_records(),
         checks_run=state.checks,
+    )
+
+
+def minimize_recorded(
+    trace: ScheduleTrace, max_checks: int = 5_000
+) -> MinimizationResult:
+    """Replay a recorded hunt exactly, then shrink its failing trace.
+
+    The schedule replay regenerates the *identical* failing execution —
+    interleaving, fault firings and all — so the reduction starts from
+    the exact run that was detected, not a fresh random run that may
+    fail differently (or not at all).  The memory model and initial
+    values come from the trace's own metadata.
+
+    Raises:
+        ValueError: if the replayed run does not fail with a cycle
+            (monitor/environment detections have nothing to shrink), or
+            if the trace is not a campaign hunt trace.
+    """
+    # Deferred: repro.analysis.replay pulls in the whole sim stack,
+    # which plain execution-level minimization does not need.
+    from repro.analysis.replay import replay_hunt
+
+    replayed = replay_hunt(trace)
+    models = {"TSO": TSO, "SC": SC, "PSO": PSO}
+    model = models[str(trace.meta["model"])]
+    return minimize_failure(
+        replayed.observed,
+        initial=dict(replayed.program.initial),
+        model=model,
+        max_checks=max_checks,
     )
 
 

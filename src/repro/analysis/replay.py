@@ -1,0 +1,167 @@
+"""Exact re-execution of a recorded hunt from its ScheduleTrace.
+
+A campaign worker that detects a seeded bug records the complete
+schedule of the detecting run (see :func:`repro.analysis.campaign.hunt_bug`)
+into a :class:`~repro.sched.trace.ScheduleTrace` whose ``meta`` carries
+everything needed to rebuild the run from scratch: generator config,
+machine config, machine seed, memory model and the fault spec.  This
+module is the consumer side — :func:`replay_hunt` turns a trace file
+back into the identical failing execution, ready for triage, rendering
+or minimization, in any later process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.policy import PSO, SC, TSO, MemoryModel
+from repro.generator.config import GeneratorConfig, InstructionMix
+from repro.generator.generator import generate_program
+from repro.model.program import Program
+from repro.model.trace import Execution
+from repro.sched.trace import ReplayPolicy, ScheduleTrace
+from repro.sim import faults as faults_mod
+from repro.sim.cpus import BugSpec
+from repro.sim.faults import BugClass, Fault, FuncUnit
+from repro.sim.machine import MachineConfig, TsoMachine
+
+_MODELS: Dict[str, MemoryModel] = {"TSO": TSO, "SC": SC, "PSO": PSO}
+
+
+def hunt_trace_meta(
+    spec: BugSpec,
+    cpu_name: str,
+    generator: GeneratorConfig,
+    machine: MachineConfig,
+    model: MemoryModel,
+    seed: int,
+    via: str,
+) -> Dict[str, object]:
+    """The reconstruction metadata stamped into a hunt's trace.
+
+    Everything here is JSON-safe and sufficient for :func:`replay_hunt`
+    to rebuild the exact run: the program is regenerated from
+    ``generator`` + ``seed``, the fault from the spec fields, and the
+    machine from ``machine`` + ``seed`` (faults draw their own RNG from
+    the machine seed at attach, so the fault's firing pattern replays
+    too).
+    """
+    machine_dict = dataclasses.asdict(machine)
+    machine_dict.pop("sched", None)  # replay supplies the policy itself
+    return {
+        "kind": "hunt",
+        "bug": spec.name,
+        "cpu": cpu_name,
+        "seed": seed,
+        "via": via,
+        "model": model.name,
+        "generator": dataclasses.asdict(generator),
+        "machine": machine_dict,
+        "fault": {
+            "name": spec.name,
+            "mechanism": spec.mechanism.__name__,
+            "unit": spec.unit.value,
+            "bug_class": spec.bug_class.value,
+            "rate": spec.rate,
+        },
+    }
+
+
+def generator_from_meta(data: Dict[str, object]) -> GeneratorConfig:
+    """Rebuild a GeneratorConfig from its ``dataclasses.asdict`` form.
+
+    JSON round-trips stringify the ``size_weights`` keys and listify
+    ``patterns``; both are restored here.
+    """
+    d = dict(data)
+    d["mix"] = InstructionMix(**d["mix"])  # type: ignore[arg-type]
+    d["size_weights"] = {
+        int(k): float(v)
+        for k, v in d["size_weights"].items()  # type: ignore[union-attr]
+    }
+    d["patterns"] = tuple(d["patterns"])  # type: ignore[arg-type]
+    return GeneratorConfig(**d)  # type: ignore[arg-type]
+
+
+def machine_config_from_meta(data: Dict[str, object]) -> MachineConfig:
+    """Rebuild a MachineConfig from trace meta (scheduler spec excluded)."""
+    d = dict(data)
+    d.pop("sched", None)
+    return MachineConfig(**d)  # type: ignore[arg-type]
+
+
+def bug_spec_from_meta(data: Dict[str, object]) -> BugSpec:
+    """Rebuild the BugSpec of a recorded hunt from trace meta."""
+    mechanism = getattr(faults_mod, str(data["mechanism"]))
+    if not (isinstance(mechanism, type) and issubclass(mechanism, Fault)):
+        raise ValueError(f"unknown fault mechanism {data['mechanism']!r}")
+    rate = data.get("rate")
+    return BugSpec(
+        name=str(data["name"]),
+        mechanism=mechanism,
+        unit=FuncUnit(data["unit"]),
+        bug_class=BugClass(data["bug_class"]),
+        rate=None if rate is None else float(rate),
+    )
+
+
+@dataclass
+class ReplayedHunt:
+    """One exactly re-executed hunt: the run plus its fresh triage."""
+
+    trace: ScheduleTrace
+    spec: BugSpec
+    program: Program
+    machine: TsoMachine
+    observed: Execution
+    detected: bool
+    via: str
+
+
+def replay_hunt(trace: ScheduleTrace) -> ReplayedHunt:
+    """Re-execute a recorded hunt choice-for-choice and re-triage it.
+
+    Raises:
+        ValueError: if the trace was not recorded by a campaign hunt
+            (its meta lacks the reconstruction fields).
+        repro.sched.trace.ScheduleDivergence: if the rebuilt machine
+            asks a question the trace did not answer — meaning the
+            environment no longer matches the recorded run.
+    """
+    # Deferred import: campaign.py imports this module for the meta
+    # builder, so the triage helper must be resolved lazily.
+    from repro.analysis.campaign import _triage
+
+    meta = trace.meta
+    for key in ("generator", "machine", "fault", "seed", "model"):
+        if key not in meta:
+            raise ValueError(f"trace meta lacks {key!r}; not a hunt trace")
+    model = _MODELS.get(str(meta["model"]))
+    if model is None:
+        raise ValueError(f"unknown memory model {meta['model']!r}")
+    spec = bug_spec_from_meta(meta["fault"])  # type: ignore[arg-type]
+    generator = generator_from_meta(meta["generator"])  # type: ignore[arg-type]
+    machine_config = machine_config_from_meta(meta["machine"])  # type: ignore[arg-type]
+    seed = int(meta["seed"])  # type: ignore[arg-type]
+
+    program = generate_program(generator, seed=seed)
+    machine = TsoMachine(
+        program,
+        seed=seed,
+        config=machine_config,
+        faults=[spec.instantiate()],
+        policy=ReplayPolicy(trace),
+    )
+    observed = machine.run()
+    detected, via = _triage(spec, program, machine, observed, model)
+    return ReplayedHunt(
+        trace=trace,
+        spec=spec,
+        program=program,
+        machine=machine,
+        observed=observed,
+        detected=detected,
+        via=via,
+    )

@@ -29,6 +29,7 @@ from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
 from repro.core.policy import PSO, SC, TSO
 from repro.generator.litmus import LITMUS_LIBRARY
+from repro.sched.spec import SchedSpec
 
 _MODELS = {"TSO": TSO, "SC": SC, "PSO": PSO}
 
@@ -47,6 +48,9 @@ class ReportConfig:
     #: sequential: parallel points contend for cores and would skew the
     #: Fig. 8/9 timings).
     workers: int = 1
+    #: Also run the campaign under the PCT scheduler and report both
+    #: detection rates side by side (roughly doubles campaign time).
+    compare_scheds: bool = True
 
 
 def _litmus_section() -> List[str]:
@@ -110,6 +114,18 @@ def _campaign_section(config: ReportConfig) -> List[str]:
     if result.stats is not None:
         lines.append("")
         lines.append(f"Throughput: {result.stats.throughput_line()}")
+    lines.append("")
+    lines.append("Scheduler effectiveness (detection rate per policy):")
+    lines.append(f"* {result.detection_line()}")
+    if config.compare_scheds:
+        pct_result = run_campaign(
+            config=CampaignConfig(
+                tests_per_bug=config.tests_per_bug, seed=config.seed,
+                sched=SchedSpec(kind="pct"),
+            ),
+            workers=config.workers,
+        )
+        lines.append(f"* {pct_result.detection_line()}")
     for hunt in missed:
         tag = "hung" if hunt.hung else "missed"
         lines.append(f"* {tag}: {hunt.spec.name}")

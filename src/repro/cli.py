@@ -20,6 +20,7 @@ standalone-analysis text format; ``check`` re-analyzes such a trace
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -30,7 +31,16 @@ from repro.analysis.campaign import (
     run_campaign,
 )
 from repro.analysis.coverage import measure_coverage
-from repro.analysis.minimize import minimize_failure, render_minimized
+from repro.analysis.minimize import (
+    minimize_failure,
+    minimize_recorded,
+    render_minimized,
+)
+from repro.analysis.replay import (
+    generator_from_meta,
+    machine_config_from_meta,
+    replay_hunt,
+)
 from repro.analysis.report import ReportConfig, build_report
 from repro.analysis.runtime import format_series, sweep_runtime
 from repro.emit.c11 import c11_generator_config, emit_c11
@@ -43,6 +53,14 @@ from repro.generator.generator import generate_program
 from repro.generator.litmus import LITMUS_LIBRARY, litmus_by_name
 from repro.model.program import format_program, parse_litmus
 from repro.model.trace import Execution
+from repro.sched import (
+    RecordingPolicy,
+    ReplayPolicy,
+    ScheduleTrace,
+    SchedSpec,
+    make_policy,
+    sweep_program,
+)
 from repro.sim.cpus import cpu_by_name, CPU_CONFIGS
 from repro.sim.machine import MachineConfig, TsoMachine
 
@@ -73,9 +91,36 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sched_spec(args: argparse.Namespace) -> SchedSpec:
+    return SchedSpec(
+        kind=args.sched,
+        pct_depth=args.pct_depth,
+        sweep_budget=args.sweep_budget,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    program = generate_program(_generator_config(args), seed=args.seed)
-    machine = TsoMachine(program, seed=args.seed, config=MachineConfig())
+    if args.replay_schedule:
+        return _run_replay(args)
+    if args.sched == "sweep":
+        return _run_sweep(args)
+    gen_config = _generator_config(args)
+    program = generate_program(gen_config, seed=args.seed)
+    policy = make_policy(_sched_spec(args), seed=args.seed)
+    if args.record_schedule:
+        policy = RecordingPolicy(policy)
+        machine_dict = dataclasses.asdict(MachineConfig())
+        machine_dict.pop("sched", None)
+        policy.trace.meta.update({
+            "kind": "run",
+            "seed": args.seed,
+            "model": args.model,
+            "generator": dataclasses.asdict(gen_config),
+            "machine": machine_dict,
+        })
+    machine = TsoMachine(
+        program, seed=args.seed, config=MachineConfig(), policy=policy
+    )
     execution = machine.run()
     trace = execution.dump()
     if args.output:
@@ -84,7 +129,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {execution.total_records()} records to {args.output}")
     else:
         sys.stdout.write(trace)
+    if args.record_schedule:
+        policy.trace.save(args.record_schedule)
+        print(
+            f"recorded {len(policy.trace)} schedule choices to "
+            f"{args.record_schedule}"
+        )
     result = check(program, execution, model=_MODELS[args.model])
+    print(result.explain())
+    return 0 if result.ok else 1
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """Systematic mode: enumerate schedules and check every outcome."""
+    program = generate_program(_generator_config(args), seed=args.seed)
+    sweep = sweep_program(program, seed=args.seed, budget=args.sweep_budget)
+    print(sweep.stats.render())
+    exit_code = 0
+    for outcome in sweep.outcomes.values():
+        result = check(program, outcome.execution, model=_MODELS[args.model])
+        if result.ok:
+            status = "ok"
+        else:
+            status = f"VIOLATION ({result.violation.kind.value})"
+            exit_code = 1
+        print(f"  outcome {outcome.key} x{outcome.count}: {status}")
+    return exit_code
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded schedule exactly; generation args are ignored."""
+    trace = ScheduleTrace.load(args.replay_schedule)
+    if "fault" in trace.meta:
+        replayed = replay_hunt(trace)
+        verdict = "reproduced" if replayed.detected else "NOT reproduced"
+        print(
+            f"replayed hunt {trace.meta.get('bug', '?')} "
+            f"({len(trace)} choices): detection {verdict}"
+        )
+        if replayed.via:
+            print(f"  via: {replayed.via}")
+        return 0 if replayed.detected else 1
+    gen_config = generator_from_meta(trace.meta["generator"])
+    machine_config = machine_config_from_meta(trace.meta["machine"])
+    seed = int(trace.meta["seed"])
+    model = _MODELS[str(trace.meta.get("model", args.model))]
+    program = generate_program(gen_config, seed=seed)
+    machine = TsoMachine(
+        program, seed=seed, config=machine_config, policy=ReplayPolicy(trace)
+    )
+    execution = machine.run()
+    print(f"replayed {len(trace)} schedule choices from {args.replay_schedule}")
+    result = check(program, execution, model=model)
     print(result.explain())
     return 0 if result.ok else 1
 
@@ -112,12 +208,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
-    with open(args.trace) as fh:
-        execution = Execution.load(fh.read())
     try:
-        minimized = minimize_failure(
-            execution, model=_MODELS[args.model], max_checks=args.max_checks
-        )
+        if args.replay_schedule:
+            minimized = minimize_recorded(
+                ScheduleTrace.load(args.replay_schedule),
+                max_checks=args.max_checks,
+            )
+        else:
+            if not args.trace:
+                print("cannot minimize: give a trace file or --replay-schedule")
+                return 2
+            with open(args.trace) as fh:
+                execution = Execution.load(fh.read())
+            minimized = minimize_failure(
+                execution, model=_MODELS[args.model], max_checks=args.max_checks
+            )
     except ValueError as exc:
         print(f"cannot minimize: {exc}")
         return 2
@@ -188,7 +293,11 @@ def _pool_progress(event) -> None:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    config = CampaignConfig(tests_per_bug=args.tests_per_bug, seed=args.seed)
+    config = CampaignConfig(
+        tests_per_bug=args.tests_per_bug,
+        seed=args.seed,
+        sched=SchedSpec(kind=args.sched, pct_depth=args.pct_depth),
+    )
     kwargs = {}
     if args.cpu:
         kwargs["cpus"] = [cpu_by_name(name) for name in args.cpu]
@@ -198,6 +307,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             task_timeout=args.task_timeout,
             progress=_pool_progress if args.workers > 1 else None,
+            record_dir=args.record_schedule,
             **kwargs,
         )
     except Exception as exc:  # noqa: BLE001 - campaign crashed mid-hunt
@@ -220,6 +330,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if result.stats is not None:
         print(result.stats.throughput_line())
+    print(result.detection_line())
+    if args.record_schedule:
+        recorded = sum(1 for h in result.hunts if h.schedule is not None)
+        print(f"wrote {recorded} schedule trace(s) to {args.record_schedule}/")
     for hunt in missed:
         tag = "hung" if hunt.hung else "missed"
         print(f"  {tag}: {hunt.spec.name} ({hunt.spec.mechanism.__name__})")
@@ -288,6 +402,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generation_args(p)
     p.add_argument("-o", "--output", help="write the trace to a file")
     p.add_argument("--model", choices=sorted(_MODELS), default="TSO")
+    p.add_argument("--sched", choices=["random", "pct", "sweep"],
+                   default="random",
+                   help="schedule-exploration policy (see docs/schedulers.md)")
+    p.add_argument("--pct-depth", type=int, default=3,
+                   help="PCT bug-depth parameter (--sched pct)")
+    p.add_argument("--sweep-budget", type=int, default=256,
+                   help="max schedules to enumerate (--sched sweep)")
+    p.add_argument("--record-schedule", metavar="FILE",
+                   help="save the run's ScheduleTrace JSON here")
+    p.add_argument("--replay-schedule", metavar="FILE",
+                   help="re-execute a recorded ScheduleTrace exactly "
+                        "(generation args are ignored)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("check", help="analyze a trace file (what-if friendly)")
@@ -300,9 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("minimize", help="shrink a failing trace to its core")
-    p.add_argument("trace", help="failing trace file from 'run'")
+    p.add_argument("trace", nargs="?",
+                   help="failing trace file from 'run' (omit with "
+                        "--replay-schedule)")
     p.add_argument("--model", choices=sorted(_MODELS), default="TSO")
     p.add_argument("--max-checks", type=int, default=5000)
+    p.add_argument("--replay-schedule", metavar="FILE",
+                   help="replay this recorded hunt schedule and shrink "
+                        "the exact failing execution it reproduces")
     p.add_argument("-o", "--output", help="write the minimized trace")
     p.set_defaults(func=_cmd_minimize)
 
@@ -349,6 +480,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the hunts (default: 1, sequential)")
     p.add_argument("--task-timeout", type=float, default=None,
                    help="hard per-hunt timeout in seconds (workers > 1 only)")
+    p.add_argument("--sched", choices=["random", "pct"], default="random",
+                   help="schedule policy for every hunt (sweep does not "
+                        "fit per-attempt hunts; see docs/schedulers.md)")
+    p.add_argument("--pct-depth", type=int, default=3,
+                   help="PCT bug-depth parameter (--sched pct)")
+    p.add_argument("--record-schedule", metavar="DIR",
+                   help="persist every detected hunt's ScheduleTrace as "
+                        "DIR/<bug>.schedule.json")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(

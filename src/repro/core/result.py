@@ -151,6 +151,38 @@ class PoolStats:
 
 
 @dataclass
+class SweepStats:
+    """Accounting for one systematic schedule sweep.
+
+    Produced by :func:`repro.sched.sweep.sweep_program`.  ``complete``
+    distinguishes "the whole schedule tree was walked" from "the budget
+    ran out" — a sweep that claims full enumeration must have it True.
+    """
+
+    budget: int = 0
+    schedules_run: int = 0
+    distinct_outcomes: int = 0
+    complete: bool = False
+
+    def render(self) -> str:
+        """One-line summary for the CLI sweep report."""
+        status = "complete" if self.complete else f"budget ({self.budget}) exhausted"
+        return (
+            f"{self.schedules_run} schedule(s) explored, "
+            f"{self.distinct_outcomes} distinct outcome(s), {status}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation for archived sweep artifacts."""
+        return {
+            "budget": self.budget,
+            "schedules_run": self.schedules_run,
+            "distinct_outcomes": self.distinct_outcomes,
+            "complete": self.complete,
+        }
+
+
+@dataclass
 class CheckStats:
     """Bookkeeping about one analysis run (feeds the Fig. 8/9 harness)."""
 

@@ -1,0 +1,115 @@
+"""The schedule-policy interface: every nondeterministic simulator choice.
+
+TSOtool's bug-finding power comes from "intense data races" — but *which*
+interleavings a run explores is a strategy question, and the literature
+(PCT, stateless model checking over reads-from equivalence, lazy TSO
+reachability) shows disciplined schedule search beats flat uniform
+sampling.  This module owns the interface: a :class:`SchedulePolicy`
+makes every decision the simulated machine would otherwise draw from an
+inline PRNG:
+
+* :meth:`~SchedulePolicy.pick_cpu` — which processor acts this tick;
+* :meth:`~SchedulePolicy.should_drain` — drain a store-buffer entry
+  instead of issuing the next instruction;
+* :meth:`~SchedulePolicy.pick_drain_index` — which eligible entry drains
+  (PSO mode, where non-FIFO drains are legal);
+* :meth:`~SchedulePolicy.pick_delay` — invalidate-delivery jitter on the
+  interconnect (active only with ``MachineConfig.invalidate_jitter``).
+
+:class:`RandomPolicy` is the default and reproduces the pre-refactor
+inline scheduler **bit-for-bit** for the same seed: it makes exactly the
+same calls, in the same order, on one ``random.Random(seed)`` stream
+(guarded by ``tests/sched/test_policy_golden.py``).
+
+Concrete strategies live in sibling modules: :mod:`repro.sched.pct`
+(priority-based probabilistic concurrency testing),
+:mod:`repro.sched.sweep` (bounded systematic DFS), and
+:mod:`repro.sched.trace` (record-and-replay).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import TsoMachine
+    from repro.sim.storebuffer import StoreBuffer
+
+
+class SchedulePolicy:
+    """Base class: one object answers every scheduler question of a run.
+
+    A policy is bound to a machine (:meth:`bind`) before its first
+    decision; binding gives it access to machine tunables (``drain_bias``)
+    and resets any per-run state, so one policy object can drive several
+    consecutive machines (the sweep driver relies on this).
+    """
+
+    #: Short identifier used in specs, traces, and coverage reports.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.drain_bias = 0.35
+
+    def bind(self, machine: "TsoMachine") -> None:
+        """Attach to a machine about to run; reset per-run state."""
+        self.drain_bias = machine.config.drain_bias
+
+    # ------------------------------------------------------------------
+    # Decision points
+    # ------------------------------------------------------------------
+
+    def pick_cpu(self, runnable: Sequence[int]) -> int:
+        """Choose which processor id acts this tick (``runnable`` is
+        non-empty, in ascending pid order)."""
+        raise NotImplementedError
+
+    def should_drain(self, pid: int, buffer: "StoreBuffer") -> bool:
+        """Drain one of ``pid``'s buffered stores instead of issuing?"""
+        raise NotImplementedError
+
+    def pick_drain_index(self, eligible: Sequence[int]) -> int:
+        """Choose which eligible buffer index drains (PSO mode).
+
+        ``eligible`` is non-empty and ascending; every entry preserves
+        per-address FIFO order, so any choice is architecturally legal.
+        """
+        raise NotImplementedError
+
+    def pick_delay(self, lo: int, hi: int) -> int:
+        """Invalidate-delivery delay in ticks, in ``[lo, hi]``.
+
+        Consulted by the interconnect only when the machine runs with
+        ``invalidate_jitter > 0``; 0 means same-tick delivery.
+        """
+        raise NotImplementedError
+
+
+class RandomPolicy(SchedulePolicy):
+    """Flat seeded randomness — the classic TSOtool scheduler.
+
+    Bit-for-bit compatible with the pre-refactor inline scheduler: the
+    machine used to call ``rng.choice(runnable)``, ``rng.random() <
+    drain_bias`` and ``rng.choice(eligible)`` on one seeded stream, and
+    this class makes the identical draws in the identical order.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def pick_cpu(self, runnable: Sequence[int]) -> int:
+        return self.rng.choice(runnable)
+
+    def should_drain(self, pid: int, buffer: "StoreBuffer") -> bool:
+        return self.rng.random() < self.drain_bias
+
+    def pick_drain_index(self, eligible: Sequence[int]) -> int:
+        return self.rng.choice(eligible)
+
+    def pick_delay(self, lo: int, hi: int) -> int:
+        return self.rng.randint(lo, hi)

@@ -1,0 +1,89 @@
+"""Serializable scheduler specs: how configs name a schedule policy.
+
+Policies themselves are stateful objects (a sweep carries its choice
+stack, a replay its cursor), so configuration layers — `MachineConfig`,
+`CampaignConfig`, the CLI, pickled pool tasks — carry a frozen
+:class:`SchedSpec` instead and instantiate a fresh policy per run with
+:func:`make_policy`.  The spec is hashable, picklable and JSON-friendly,
+which is what lets a parallel campaign ship the chosen strategy to its
+worker processes and stamp it into every recorded
+:class:`~repro.sched.trace.ScheduleTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sched.pct import PctPolicy
+from repro.sched.policy import RandomPolicy, SchedulePolicy
+from repro.sched.sweep import SweepPolicy
+
+#: Spec kinds instantiable per-run from a seed (replay needs a trace,
+#: so it is constructed explicitly, never from a spec).
+KINDS = ("random", "pct", "sweep")
+
+
+@dataclass(frozen=True)
+class SchedSpec:
+    """A named schedule-exploration strategy plus its tuning knobs.
+
+    Attributes:
+        kind: one of :data:`KINDS`.
+        pct_depth: PCT bug-depth parameter (``kind="pct"`` only).
+        sweep_budget: schedule budget for systematic sweeps
+            (``kind="sweep"`` only; enforced by the sweep driver).
+    """
+
+    kind: str = "random"
+    pct_depth: int = 3
+    sweep_budget: int = 256
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown scheduler kind {self.kind!r}")
+        if self.pct_depth < 1:
+            raise ValueError("pct_depth must be >= 1")
+        if self.sweep_budget < 1:
+            raise ValueError("sweep_budget must be >= 1")
+
+    def describe(self) -> str:
+        """Short human-readable form for reports and filenames."""
+        if self.kind == "pct":
+            return f"pct(depth={self.pct_depth})"
+        if self.kind == "sweep":
+            return f"sweep(budget={self.sweep_budget})"
+        return "random"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (stored in ScheduleTrace meta)."""
+        return {
+            "kind": self.kind,
+            "pct_depth": self.pct_depth,
+            "sweep_budget": self.sweep_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SchedSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data.get("kind", "random")),
+            pct_depth=int(data.get("pct_depth", 3)),  # type: ignore[arg-type]
+            sweep_budget=int(data.get("sweep_budget", 256)),  # type: ignore[arg-type]
+        )
+
+
+def make_policy(spec: SchedSpec, seed: int = 0) -> SchedulePolicy:
+    """Instantiate a fresh policy for one run.
+
+    ``seed`` feeds the randomized strategies; a sweep is deterministic
+    and ignores it.  Note a sweep policy must be *reused* across runs to
+    make progress — drivers that explore (the CLI ``--sched sweep`` path,
+    :func:`repro.sched.sweep.sweep_program`) hold onto one instance,
+    while per-run callers get schedule #0 every time.
+    """
+    if spec.kind == "pct":
+        return PctPolicy(seed=seed, depth=spec.pct_depth)
+    if spec.kind == "sweep":
+        return SweepPolicy()
+    return RandomPolicy(seed=seed)

@@ -1,0 +1,198 @@
+"""Bounded systematic schedule exploration (DFS over choice points).
+
+For small programs — litmus shapes especially — random sampling is
+wasteful: the whole schedule space is enumerable.  :class:`SweepPolicy`
+explores it with a *choice stack*, the cooperative-scheduler idiom of
+the ``simsched`` explorer: every decision point (which CPU, drain or
+issue, which PSO entry, what delivery delay) is a node with finitely
+many alternatives; one run of the machine follows the stack's recorded
+prefix and extends it with first choices; :meth:`SweepPolicy.advance`
+then increments the deepest non-exhausted choice, depth-first, until the
+whole tree is walked.
+
+:func:`sweep_program` drives the policy over successive runs of one
+program, deduplicates executions by outcome hash (many schedules are
+reads-from equivalent — the insight stateless model checkers exploit),
+and stops when the tree is exhausted or a configurable budget of
+schedules runs out.  The acceptance bar: on a 2-thread store-buffering
+litmus it must enumerate *all four* outcomes, including the TSO-only
+``r1 = r2 = 0`` relaxed result that requires both loads to overtake both
+buffered stores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.result import SweepStats
+from repro.sched.policy import SchedulePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.program import Program
+    from repro.model.trace import Execution
+    from repro.sim.faults import Fault
+    from repro.sim.machine import MachineConfig, TsoMachine
+    from repro.sim.storebuffer import StoreBuffer
+
+
+class ScheduleExhausted(RuntimeError):
+    """Raised if a machine asks for a decision after the tree is done."""
+
+
+class SweepPolicy(SchedulePolicy):
+    """Depth-first systematic exploration over scheduler choice points.
+
+    One policy object drives many machine runs: each
+    :meth:`~repro.sched.policy.SchedulePolicy.bind` resets the cursor to
+    the stack root, the run replays the recorded prefix and extends it
+    with index-0 choices, and :meth:`advance` moves to the next schedule.
+    Deterministic by construction — there is no randomness anywhere.
+    """
+
+    name = "sweep"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: [chosen index, alternative count] per decision of the current
+        #: schedule, in decision order.
+        self.stack: List[List[int]] = []
+        self._cursor = 0
+
+    def bind(self, machine: "TsoMachine") -> None:
+        super().bind(machine)
+        self._cursor = 0
+
+    def _choose(self, nalts: int) -> int:
+        """Follow the stack prefix; extend with first choices past it."""
+        if nalts < 1:
+            raise ValueError("decision point with no alternatives")
+        if self._cursor < len(self.stack):
+            chosen, recorded = self.stack[self._cursor]
+            if recorded != nalts:
+                # The program/machine changed between runs; the stack no
+                # longer describes this tree.
+                raise ScheduleExhausted(
+                    f"decision {self._cursor}: {nalts} alternatives now, "
+                    f"{recorded} when the schedule was recorded"
+                )
+        else:
+            self.stack.append([0, nalts])
+            chosen = 0
+        self._cursor += 1
+        return chosen
+
+    def advance(self) -> bool:
+        """Step to the next unexplored schedule (depth-first).
+
+        Returns False when the whole tree has been walked.  Must be
+        called between runs; the next ``bind`` starts the new schedule.
+        """
+        del self.stack[self._cursor:]  # choices never reached this run
+        while self.stack:
+            self.stack[-1][0] += 1
+            if self.stack[-1][0] < self.stack[-1][1]:
+                return True
+            self.stack.pop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Decision points
+    # ------------------------------------------------------------------
+
+    def pick_cpu(self, runnable: Sequence[int]) -> int:
+        return runnable[self._choose(len(runnable))]
+
+    def should_drain(self, pid: int, buffer: "StoreBuffer") -> bool:
+        # Issue-first (index 0 = False): the first DFS path runs every
+        # thread to completion before draining, which terminates fast.
+        return bool(self._choose(2))
+
+    def pick_drain_index(self, eligible: Sequence[int]) -> int:
+        return eligible[self._choose(len(eligible))]
+
+    def pick_delay(self, lo: int, hi: int) -> int:
+        return lo + self._choose(hi - lo + 1)
+
+
+@dataclass
+class SweepOutcome:
+    """One distinct execution outcome found by a sweep."""
+
+    key: str
+    execution: "Execution"
+    count: int = 1
+    #: The choice list (``[chosen, nalts]`` pairs) of the first schedule
+    #: that produced this outcome — enough to re-derive it by DFS order.
+    first_schedule: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class SweepResult:
+    """Everything a systematic sweep of one program discovered."""
+
+    outcomes: Dict[str, SweepOutcome]
+    stats: SweepStats
+
+    def executions(self) -> List["Execution"]:
+        """The distinct executions, in first-discovery order."""
+        return [o.execution for o in self.outcomes.values()]
+
+
+def outcome_key(execution: "Execution") -> str:
+    """A stable state hash of one execution's observable outcome."""
+    return hashlib.sha256(execution.dump().encode()).hexdigest()[:16]
+
+
+def sweep_program(
+    program: "Program",
+    config: Optional["MachineConfig"] = None,
+    seed: int = 0,
+    budget: int = 256,
+    fault_specs: Sequence[object] = (),
+) -> SweepResult:
+    """Enumerate schedules of ``program`` up to ``budget`` executions.
+
+    Args:
+        program: the program to explore.
+        config: machine tunables (``drain_bias`` is ignored by the sweep
+            — drain-vs-issue is enumerated, not sampled).
+        seed: machine seed; fixes store values, branch directions and
+            fault RNG streams so the sweep varies *only* the schedule.
+        budget: maximum number of executions to run; the result's
+            ``stats.complete`` records whether the tree was finished.
+        fault_specs: optional :class:`~repro.sim.cpus.BugSpec`-like
+            objects (anything with ``instantiate()``); a fresh fault
+            instance is created per run so activation state never leaks
+            between schedules.
+
+    Returns:
+        A :class:`SweepResult` with outcome-deduplicated executions.
+    """
+    from repro.sim.machine import TsoMachine  # deferred: import cycle
+
+    policy = SweepPolicy()
+    outcomes: Dict[str, SweepOutcome] = {}
+    stats = SweepStats(budget=budget)
+    while stats.schedules_run < budget:
+        faults = [spec.instantiate() for spec in fault_specs]
+        machine = TsoMachine(
+            program, seed=seed, config=config, faults=faults, policy=policy
+        )
+        execution = machine.run()
+        stats.schedules_run += 1
+        key = outcome_key(execution)
+        if key in outcomes:
+            outcomes[key].count += 1
+        else:
+            outcomes[key] = SweepOutcome(
+                key=key,
+                execution=execution,
+                first_schedule=[tuple(c) for c in policy.stack],
+            )
+        if not policy.advance():
+            stats.complete = True
+            break
+    stats.distinct_outcomes = len(outcomes)
+    return SweepResult(outcomes=outcomes, stats=stats)

@@ -1,0 +1,219 @@
+"""Schedule record-and-replay: exact re-execution of any hunt.
+
+The paper's Sec. 5.2 selling point — a TSOtool failure has "a good
+probability of being reproduced in the simulation environment" — rested
+on seeded PRNGs.  A :class:`ScheduleTrace` makes reproduction *exact*
+and *portable*: it records every decision a
+:class:`~repro.sched.policy.SchedulePolicy` made during one run, as a
+compact JSON document, so the run can be replayed choice-for-choice by
+any process later — including a fault-detecting hunt found inside a
+parallel campaign worker, replayed in a debugger on a laptop.
+
+Format (``version`` 1)::
+
+    {
+      "version": 1,
+      "policy": "random",            # the recorded policy's name
+      "choices": [["c", 2], ["d", 1], ["i", 0], ["y", 3], ...],
+      "meta": { ... }                # free-form reconstruction metadata
+    }
+
+Choice tags: ``c`` = pick_cpu (value: chosen pid), ``d`` = should_drain
+(0/1), ``i`` = pick_drain_index (chosen buffer index), ``y`` =
+pick_delay (ticks).  ``meta`` carries whatever the producer needs to
+rebuild the run — the campaign stores the generator config, machine
+seed, memory model and fault spec (see
+:func:`repro.analysis.replay.replay_hunt`).
+
+:class:`RecordingPolicy` wraps any policy and captures its decisions;
+:class:`ReplayPolicy` feeds a trace back, raising
+:class:`ScheduleDivergence` the moment the machine asks a different
+question than the trace answered — a replay either reproduces the run
+exactly or fails loudly, never silently drifts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.sched.policy import SchedulePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import TsoMachine
+    from repro.sim.storebuffer import StoreBuffer
+
+#: Choice kind tags.
+PICK_CPU = "c"
+SHOULD_DRAIN = "d"
+DRAIN_INDEX = "i"
+DELAY = "y"
+
+_TRACE_VERSION = 1
+
+
+class ScheduleDivergence(RuntimeError):
+    """A replayed run asked a question the trace did not answer."""
+
+
+@dataclass
+class ScheduleTrace:
+    """The complete decision record of one machine run."""
+
+    policy: str
+    choices: List[Tuple[str, int]] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def to_json(self) -> str:
+        """Serialize to the compact v1 JSON document."""
+        return json.dumps(
+            {
+                "version": _TRACE_VERSION,
+                "policy": self.policy,
+                "choices": [[k, v] for k, v in self.choices],
+                "meta": self.meta,
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleTrace":
+        """Parse a v1 JSON document (inverse of :meth:`to_json`)."""
+        data = json.loads(text)
+        version = data.get("version")
+        if version != _TRACE_VERSION:
+            raise ValueError(f"unsupported schedule-trace version {version!r}")
+        choices = []
+        for item in data.get("choices", []):
+            kind, value = item
+            if kind not in (PICK_CPU, SHOULD_DRAIN, DRAIN_INDEX, DELAY):
+                raise ValueError(f"unknown choice tag {kind!r}")
+            choices.append((str(kind), int(value)))
+        return cls(
+            policy=str(data.get("policy", "?")),
+            choices=choices,
+            meta=dict(data.get("meta", {})),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the JSON document to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ScheduleTrace":
+        """Read a trace previously written by :meth:`save`."""
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+class RecordingPolicy(SchedulePolicy):
+    """Wraps any policy and records every decision it makes."""
+
+    name = "recording"
+
+    def __init__(self, inner: SchedulePolicy) -> None:
+        super().__init__()
+        self.inner = inner
+        self.trace = ScheduleTrace(policy=inner.name)
+
+    def bind(self, machine: "TsoMachine") -> None:
+        super().bind(machine)
+        self.inner.bind(machine)
+        self.trace = ScheduleTrace(policy=self.inner.name, meta=self.trace.meta)
+
+    def pick_cpu(self, runnable: Sequence[int]) -> int:
+        pid = self.inner.pick_cpu(runnable)
+        self.trace.choices.append((PICK_CPU, pid))
+        return pid
+
+    def should_drain(self, pid: int, buffer: "StoreBuffer") -> bool:
+        drain = self.inner.should_drain(pid, buffer)
+        self.trace.choices.append((SHOULD_DRAIN, int(drain)))
+        return drain
+
+    def pick_drain_index(self, eligible: Sequence[int]) -> int:
+        index = self.inner.pick_drain_index(eligible)
+        self.trace.choices.append((DRAIN_INDEX, index))
+        return index
+
+    def pick_delay(self, lo: int, hi: int) -> int:
+        delay = self.inner.pick_delay(lo, hi)
+        self.trace.choices.append((DELAY, delay))
+        return delay
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Feeds a recorded :class:`ScheduleTrace` back to the machine.
+
+    Replay is strict: every decision must match the recorded kind and be
+    legal for the current machine state, else :class:`ScheduleDivergence`
+    is raised.  With the same program, machine seed, config and faults as
+    the recorded run, the replay reproduces the execution exactly.
+    """
+
+    name = "replay"
+
+    def __init__(self, trace: ScheduleTrace) -> None:
+        super().__init__()
+        self.trace = trace
+        self._cursor = 0
+
+    def bind(self, machine: "TsoMachine") -> None:
+        super().bind(machine)
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every recorded choice has been consumed."""
+        return self._cursor >= len(self.trace.choices)
+
+    def _next(self, kind: str) -> int:
+        if self._cursor >= len(self.trace.choices):
+            raise ScheduleDivergence(
+                f"trace exhausted after {self._cursor} choices but the "
+                f"machine asked for another {kind!r} decision"
+            )
+        recorded_kind, value = self.trace.choices[self._cursor]
+        if recorded_kind != kind:
+            raise ScheduleDivergence(
+                f"choice {self._cursor}: machine asked {kind!r}, trace "
+                f"recorded {recorded_kind!r}"
+            )
+        self._cursor += 1
+        return value
+
+    def pick_cpu(self, runnable: Sequence[int]) -> int:
+        pid = self._next(PICK_CPU)
+        if pid not in runnable:
+            raise ScheduleDivergence(
+                f"choice {self._cursor - 1}: recorded CPU {pid} is not "
+                f"runnable (runnable: {list(runnable)})"
+            )
+        return pid
+
+    def should_drain(self, pid: int, buffer: "StoreBuffer") -> bool:
+        return bool(self._next(SHOULD_DRAIN))
+
+    def pick_drain_index(self, eligible: Sequence[int]) -> int:
+        index = self._next(DRAIN_INDEX)
+        if index not in eligible:
+            raise ScheduleDivergence(
+                f"choice {self._cursor - 1}: recorded drain index {index} "
+                f"is not eligible (eligible: {list(eligible)})"
+            )
+        return index
+
+    def pick_delay(self, lo: int, hi: int) -> int:
+        delay = self._next(DELAY)
+        if not (lo <= delay <= hi):
+            raise ScheduleDivergence(
+                f"choice {self._cursor - 1}: recorded delay {delay} "
+                f"outside [{lo}, {hi}]"
+            )
+        return delay

@@ -164,9 +164,15 @@ class Fault:
     def on_buffer_push(self, cpu: int, buffer: "StoreBuffer") -> None:
         """Inspect/perturb the store buffer right after a push."""
 
-    def pick_drain_index(self, cpu: int, buffer: "StoreBuffer") -> int:
-        """FIFO index to drain next (0 = correct)."""
-        return 0
+    def pick_drain_index(self, cpu: int, buffer: "StoreBuffer") -> Optional[int]:
+        """FIFO index to drain next, or None to leave the choice alone.
+
+        Returning an index — *including 0* — overrides the machine's
+        drain selection; None lets the scheduler policy decide.  A fault
+        that wants to force the correct FIFO head must return 0, which is
+        distinct from declining to intervene.
+        """
+        return None
 
     def membar_effective(self, cpu: int) -> bool:
         """False to silently skip a membar's buffer drain."""
@@ -330,9 +336,9 @@ class WritebackReorderFault(Fault):
 
     default_unit = FuncUnit.MEM_CNTLR
 
-    def pick_drain_index(self, cpu: int, buffer: "StoreBuffer") -> int:
+    def pick_drain_index(self, cpu: int, buffer: "StoreBuffer") -> Optional[int]:
         if len(buffer) < 2 or not self.fire():
-            return 0
+            return None
         head_cacheable = buffer.peek(0).cacheable
         for index in range(1, len(buffer)):
             if buffer.peek(index).cacheable != head_cacheable:

@@ -11,7 +11,10 @@ of steps (in-flight invalidates, the window behind the Fig. 6 bug).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sched.policy import SchedulePolicy
 
 #: Verdict a fault returns for one invalidate delivery.
 DELIVER = "deliver"
@@ -31,8 +34,24 @@ class PendingInvalidate:
 class Interconnect:
     """Broadcasts invalidations, honouring fault drop/delay verdicts."""
 
-    def __init__(self, ncpus: int) -> None:
+    def __init__(
+        self,
+        ncpus: int,
+        policy: Optional["SchedulePolicy"] = None,
+        jitter: int = 0,
+    ) -> None:
+        """Args:
+            ncpus: number of CPUs on the bus.
+            policy: schedule policy consulted for delivery jitter.  Only
+                used when ``jitter > 0``, so the default healthy machine
+                makes no extra policy calls (keeping the random decision
+                stream — and thus old seeds — stable).
+            jitter: maximum extra delivery delay, in ticks, the policy
+                may inject on an otherwise immediate DELIVER verdict.
+        """
         self.ncpus = ncpus
+        self.policy = policy
+        self.jitter = jitter
         self.pending: List[PendingInvalidate] = []
 
     def broadcast(
@@ -58,6 +77,13 @@ class Interconnect:
             if victim == src:
                 continue
             action, delay = verdict(src, victim, addr)
+            if action == DELIVER and self.jitter > 0 and self.policy is not None:
+                # The policy may stretch an immediate delivery into a
+                # short in-flight window — a legal reordering axis the
+                # exploration policies can probe without a fault model.
+                extra = self.policy.pick_delay(0, self.jitter)
+                if extra > 0:
+                    action, delay = DELAY, extra
             if action == DELIVER:
                 deliver(victim, addr)
             elif action == DELAY:

@@ -13,10 +13,15 @@ implements exactly the TSO axioms:
 * membars drain the buffer before the next instruction issues;
 * swaps and compare-and-swaps drain the buffer, then read and write
   memory in one indivisible step (Atomicity axiom);
-* every scheduler decision comes from a seeded PRNG, so runs are exactly
+* every scheduler decision — which CPU acts, drain-vs-issue, which PSO
+  entry drains, invalidate-delivery jitter — is delegated to a
+  :class:`~repro.sched.policy.SchedulePolicy`.  The default
+  :class:`~repro.sched.policy.RandomPolicy` draws from a seeded PRNG
+  exactly as the pre-refactor inline scheduler did, so runs are exactly
   reproducible — the property that makes a TSOtool failure "a good
   probability of being reproduced in the simulation environment"
-  (Sec. 5.2).
+  (Sec. 5.2) — while PCT, systematic-sweep and replay policies explore
+  or pin the interleaving instead (see :mod:`repro.sched`).
 
 With ``MachineConfig.sc_mode`` the store buffer is drained eagerly after
 every store, yielding sequentially-consistent executions (used to test
@@ -26,7 +31,6 @@ perturb specific mechanisms to reproduce the paper's bug catalog.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +54,8 @@ from repro.model.ops import (
 )
 from repro.model.program import Program
 from repro.model.trace import DynRecord, Execution
+from repro.sched.policy import RandomPolicy, SchedulePolicy
+from repro.sched.spec import SchedSpec, make_policy
 from repro.sim import interconnect as ic
 from repro.sim.cache import CpuCache
 from repro.sim.cpu import Cpu
@@ -81,6 +87,9 @@ class MachineStats:
     invalidations: int = 0
     buffer_highwater: List[int] = field(default_factory=list)
     ipis_delivered: int = 0
+    #: Scheduler decision points consulted on the policy (coverage: how
+    #: much interleaving freedom the run actually had).
+    sched_decisions: int = 0
     #: Write-back mode only: dirty lines written back to memory, and
     #: misses served by another cache's dirty line.
     writebacks: int = 0
@@ -120,6 +129,16 @@ class MachineConfig:
             (the "runtime checkers monitoring the design" of Sec. 3.2).
         max_tick_factor: safety valve — the run aborts after
             ``max_tick_factor * total_instructions + 1000`` ticks.
+        sched: schedule-exploration strategy spec
+            (:class:`~repro.sched.spec.SchedSpec`); ``None`` means the
+            classic seeded-random scheduler.  An explicit ``policy``
+            object passed to :class:`TsoMachine` overrides this.
+        invalidate_jitter: maximum ticks the schedule policy may delay
+            any single invalidate delivery (0 = atomic same-step
+            visibility, the golden TSO behaviour).  Lets policies explore
+            invalidate-in-flight windows on a *healthy* machine; this is
+            a scheduling relaxation, so analysis of jittered runs should
+            expect store-visibility races.
     """
 
     buffer_capacity: int = 8
@@ -131,10 +150,14 @@ class MachineConfig:
     cache_lines: int = 0
     enable_monitor: bool = False
     max_tick_factor: int = 400
+    sched: Optional[SchedSpec] = None
+    invalidate_jitter: int = 0
 
     def __post_init__(self) -> None:
         if self.sc_mode and self.pso_mode:
             raise ValueError("sc_mode and pso_mode are mutually exclusive")
+        if self.invalidate_jitter < 0:
+            raise ValueError("invalidate_jitter must be >= 0")
 
 
 class TsoMachine:
@@ -146,14 +169,25 @@ class TsoMachine:
         seed: int = 0,
         config: Optional[MachineConfig] = None,
         faults: Sequence[Fault] = (),
+        policy: Optional[SchedulePolicy] = None,
     ) -> None:
         program.validate()
         self.program = program
         self.config = config or MachineConfig()
-        self.rng = random.Random(seed)
+        if policy is not None:
+            self.policy = policy
+        elif self.config.sched is not None:
+            self.policy = make_policy(self.config.sched, seed=seed)
+        else:
+            self.policy = RandomPolicy(seed)
+        self.policy.bind(self)
         self.memory = Memory(initial=dict(program.initial))
         self.memory.register_valid(program.addresses())
-        self.interconnect = Interconnect(program.nprocs)
+        self.interconnect = Interconnect(
+            program.nprocs,
+            policy=self.policy,
+            jitter=self.config.invalidate_jitter,
+        )
         self.caches = [
             CpuCache(capacity=self.config.cache_lines)
             for _ in range(program.nprocs)
@@ -225,13 +259,14 @@ class TsoMachine:
 
     def _pick_cpu(self) -> Optional[Cpu]:
         runnable = [
-            cpu
+            cpu.pid
             for cpu in self.cpus
             if not cpu.done or not self.buffers[cpu.pid].empty
         ]
         if not runnable:
             return None
-        return self.rng.choice(runnable)
+        self.stats.sched_decisions += 1
+        return self.cpus[self.policy.pick_cpu(runnable)]
 
     def _step(self, cpu: Cpu) -> None:
         """One scheduler action for one CPU: drain, resume, or issue."""
@@ -246,9 +281,11 @@ class TsoMachine:
         if cpu.done:
             self._drain_one(cpu)
             return
-        if not buffer.empty and self.rng.random() < self.config.drain_bias:
-            self._drain_one(cpu)
-            return
+        if not buffer.empty:
+            self.stats.sched_decisions += 1
+            if self.policy.should_drain(cpu.pid, buffer):
+                self._drain_one(cpu)
+                return
         self._issue(cpu)
 
     # ------------------------------------------------------------------
@@ -262,31 +299,35 @@ class TsoMachine:
         index = 0
         for fault in self.faults:
             picked = fault.pick_drain_index(cpu.pid, buffer)
-            if picked:
+            if picked is not None:
                 index = min(picked, len(buffer) - 1)
                 break
         else:
             if self.config.pso_mode:
-                index = self._pso_drain_index(cpu.pid, buffer)
+                eligible = self._pso_eligible(buffer)
+                self.stats.sched_decisions += 1
+                index = self.policy.pick_drain_index(eligible)
         entry = buffer.pop(index)
         self._commit(cpu.pid, entry.words, cacheable=entry.cacheable)
 
-    def _pso_drain_index(self, pid: int, buffer: StoreBuffer) -> int:
-        """A random drainable entry that keeps per-address FIFO order.
+    @staticmethod
+    def _pso_eligible(buffer: StoreBuffer) -> List[int]:
+        """Drainable entry indices that keep per-address FIFO order.
 
         An entry is eligible when no older entry writes any of the same
         words; draining it early reorders only different-address stores,
-        which is the one extra relaxation PSO allows over TSO.
+        which is the one extra relaxation PSO allows over TSO.  Uses the
+        per-entry cached word sets so the scan is one set intersection
+        per entry instead of rebuilding each set from the word tuples.
         """
-        entries = buffer.entries()
         eligible = []
-        seen_words = set()
-        for idx, entry in enumerate(entries):
-            words = {addr for addr, _value in entry.words}
+        seen_words: set = set()
+        for idx, entry in enumerate(buffer.entries()):
+            words = entry.word_set
             if not (words & seen_words):
                 eligible.append(idx)
             seen_words |= words
-        return self.rng.choice(eligible)
+        return eligible
 
     def _drain_all(self, cpu: Cpu) -> None:
         while not self.buffers[cpu.pid].empty:

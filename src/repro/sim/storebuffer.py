@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,18 @@ class BufferedStore:
     words: Tuple[Tuple[int, int], ...]  # (word address, value) pairs
     tag: str = ""
     cacheable: bool = True
+
+    @cached_property
+    def word_set(self) -> FrozenSet[int]:
+        """The word addresses this entry writes, computed once per entry.
+
+        The PSO eligibility scan intersects every entry's address set on
+        every drain decision; caching here keeps that scan allocation-free
+        after the first drain consults an entry.  (``cached_property``
+        writes straight into ``__dict__``, which a frozen dataclass
+        permits.)
+        """
+        return frozenset(addr for addr, _value in self.words)
 
     def value_for(self, addr: int) -> Optional[int]:
         """The value this entry writes to ``addr``, or None."""

@@ -1,0 +1,102 @@
+"""Scheduler wiring through campaigns: determinism and exact replay."""
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import CampaignConfig, hunt_bug, run_campaign
+from repro.analysis.minimize import minimize_recorded
+from repro.analysis.replay import replay_hunt
+from repro.generator.config import GeneratorConfig
+from repro.sched.spec import SchedSpec
+from repro.sched.trace import ScheduleTrace
+from repro.sim.cpus import CPU_CONFIGS, cpu_by_name
+
+_SMALL_GEN = GeneratorConfig(nprocs=3, ops_per_proc=40, shared_words=4)
+
+
+def _config(sched):
+    return CampaignConfig(
+        tests_per_bug=4, generator=_SMALL_GEN, seed=77, sched=sched
+    )
+
+
+@pytest.mark.parametrize("sched", [SchedSpec(), SchedSpec(kind="pct")])
+def test_sequential_and_parallel_campaigns_identical(sched):
+    """Same seed + same policy ⇒ hunt-for-hunt identical results across
+    worker counts (policies are built per attempt from the pickled spec)."""
+    cpus = [cpu_by_name("CPU1")]
+    sequential = run_campaign(cpus=cpus, config=_config(sched), workers=1)
+    parallel = run_campaign(cpus=cpus, config=_config(sched), workers=4)
+    assert sequential.hunts == parallel.hunts
+    assert sequential.sched == sched.describe()
+
+
+def test_hunt_records_schedule_of_detection():
+    spec = cpu_by_name("CPU1").bugs[0]
+    hunt = hunt_bug(spec, "CPU1", _config(SchedSpec()))
+    assert hunt.detected
+    assert hunt.schedule is not None
+    doc = json.loads(hunt.schedule)
+    assert doc["policy"] == "random"
+    assert doc["meta"]["bug"] == spec.name
+    assert doc["meta"]["seed"] == hunt.detected_on_seed
+
+
+def test_recorded_hunt_replays_to_identical_violation():
+    """The acceptance bar: a fault-detecting hunt replayed from its
+    recorded ScheduleTrace reports the identical violation."""
+    spec = cpu_by_name("CPU1").bugs[0]
+    config = _config(SchedSpec())
+    hunt = hunt_bug(spec, "CPU1", config)
+    assert hunt.detected and hunt.schedule is not None
+    replayed = replay_hunt(ScheduleTrace.from_json(hunt.schedule))
+    assert replayed.detected
+    assert replayed.via == hunt.via
+    assert replayed.spec == spec
+
+
+def test_recorded_hunt_replays_under_pct():
+    spec = cpu_by_name("CPU1").bugs[0]
+    config = _config(SchedSpec(kind="pct", pct_depth=2))
+    hunt = hunt_bug(spec, "CPU1", config)
+    if not hunt.detected:
+        pytest.skip("pct did not detect this bug within the small budget")
+    replayed = replay_hunt(ScheduleTrace.from_json(hunt.schedule))
+    assert replayed.detected
+    assert replayed.via == hunt.via
+
+
+def test_record_dir_persists_replayable_traces(tmp_path):
+    cpus = [cpu_by_name("CPU1")]
+    result = run_campaign(
+        cpus=cpus, config=_config(SchedSpec()), record_dir=str(tmp_path)
+    )
+    detected = [h for h in result.hunts if h.detected]
+    assert detected
+    for hunt in detected:
+        path = tmp_path / f"{hunt.spec.name}.schedule.json"
+        assert path.exists()
+        replayed = replay_hunt(ScheduleTrace.load(str(path)))
+        assert replayed.detected
+        assert replayed.via == hunt.via
+
+
+def test_minimize_recorded_shrinks_the_exact_failure():
+    spec = cpu_by_name("CPU1").bugs[0]
+    hunt = hunt_bug(spec, "CPU1", _config(SchedSpec()))
+    assert hunt.detected and "violation" in hunt.via
+    minimized = minimize_recorded(
+        ScheduleTrace.from_json(hunt.schedule), max_checks=800
+    )
+    assert minimized.minimized_records < minimized.original_records
+    assert not minimized.result.ok
+
+
+def test_detection_line_mentions_policy():
+    result = run_campaign(
+        cpus=[cpu_by_name("CPU1")],
+        config=_config(SchedSpec(kind="pct", pct_depth=3)),
+    )
+    line = result.detection_line()
+    assert "pct(depth=3)" in line and "bugs detected" in line

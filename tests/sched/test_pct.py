@@ -1,0 +1,75 @@
+"""PCT policy: validity, determinism, and priority-change behaviour."""
+
+import pytest
+
+from repro.core.api import check
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.sched.pct import PctPolicy
+from repro.sched.spec import SchedSpec, make_policy
+from repro.sim.machine import TsoMachine
+
+GEN = GeneratorConfig(nprocs=4, ops_per_proc=40, shared_words=4)
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        PctPolicy(depth=0)
+
+
+def test_runs_complete_and_pass_tso():
+    """PCT schedules are legal interleavings: a healthy machine stays TSO."""
+    for seed in range(5):
+        program = generate_program(GEN, seed=seed)
+        machine = TsoMachine(
+            program, seed=seed, policy=PctPolicy(seed=seed, depth=3)
+        )
+        execution = machine.run()
+        assert check(program, execution).ok
+
+
+def test_same_seed_same_execution():
+    program = generate_program(GEN, seed=3)
+    a = TsoMachine(program, seed=3, policy=PctPolicy(seed=3, depth=3)).run()
+    b = TsoMachine(program, seed=3, policy=PctPolicy(seed=3, depth=3)).run()
+    assert a.dump() == b.dump()
+
+
+def test_different_seeds_differ():
+    program = generate_program(GEN, seed=3)
+    a = TsoMachine(program, seed=3, policy=PctPolicy(seed=3, depth=3)).run()
+    b = TsoMachine(program, seed=3, policy=PctPolicy(seed=99, depth=3)).run()
+    assert a.dump() != b.dump()
+
+
+def test_depth_one_runs_strict_priority_order():
+    """With no change points the highest-priority runnable CPU always
+    runs; every pick must be the max-priority member of runnable."""
+    program = generate_program(GEN, seed=2)
+    policy = PctPolicy(seed=2, depth=1)
+    machine = TsoMachine(program, seed=2, policy=policy)
+    assert not policy._change_points
+    machine.run()
+
+
+def test_change_points_demote():
+    program = generate_program(GEN, seed=5)
+    policy = PctPolicy(seed=5, depth=4)
+    machine = TsoMachine(program, seed=5, policy=policy)
+    assert len(policy._change_points) == 3
+    machine.run()
+    # Every change point the run actually reached demoted a processor
+    # (points past the final step never fire — the horizon is an estimate).
+    reached = sum(1 for cp in policy._change_points if cp <= policy._steps)
+    assert policy._demotions == reached
+    demoted = [p for p in policy._priorities.values() if p < policy.depth]
+    assert len(demoted) <= reached
+
+
+def test_spec_round_trip():
+    spec = SchedSpec(kind="pct", pct_depth=5)
+    policy = make_policy(spec, seed=11)
+    assert isinstance(policy, PctPolicy)
+    assert policy.depth == 5
+    assert spec.describe() == "pct(depth=5)"
+    assert SchedSpec.from_dict(spec.to_dict()) == spec

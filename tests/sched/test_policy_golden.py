@@ -1,0 +1,77 @@
+"""Golden-trace guard: RandomPolicy is bit-for-bit the old scheduler.
+
+The digests below were captured from the pre-refactor machine (which
+drew every decision from an inline ``random.Random(seed)``) at the
+commit that introduced ``repro.sched``.  If any of them changes, the
+refactor broke seed compatibility: every previously recorded seed,
+campaign result and EXPERIMENTS.md number would silently shift.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.sched.policy import RandomPolicy
+from repro.sim.faults import StoreBufferReorderFault, WritebackReorderFault
+from repro.sim.machine import MachineConfig, TsoMachine
+
+_GEN = GeneratorConfig(nprocs=4, ops_per_proc=60, shared_words=6)
+
+#: (name, seed, machine config factory, fault factory) -> expected digest.
+GOLDEN = {
+    "tso7": "69210cb84a2c2437",
+    "tso11": "5474c2f5a7400f3a",
+    "pso7": "607e5cde4f427634",
+    "sc7": "b365ed3b02227479",
+    "wb7": "69210cb84a2c2437",
+    "fault7": "b38641f7d11de493",
+    "wrfault7": "4b68587691b374cc",
+}
+
+_CASES = {
+    "tso7": (7, lambda: MachineConfig(), lambda: []),
+    "tso11": (11, lambda: MachineConfig(), lambda: []),
+    "pso7": (7, lambda: MachineConfig(pso_mode=True, drain_bias=0.2),
+             lambda: []),
+    "sc7": (7, lambda: MachineConfig(sc_mode=True), lambda: []),
+    "wb7": (7, lambda: MachineConfig(writeback=True, cache_lines=2),
+            lambda: []),
+    "fault7": (7, lambda: MachineConfig(),
+               lambda: [StoreBufferReorderFault(rate=0.5)]),
+    "wrfault7": (7, lambda: MachineConfig(pso_mode=True),
+                 lambda: [WritebackReorderFault(rate=0.6)]),
+}
+
+
+def _digest(seed, config, faults):
+    program = generate_program(_GEN, seed=seed)
+    machine = TsoMachine(program, seed=seed, config=config, faults=faults)
+    execution = machine.run()
+    h = hashlib.sha256()
+    h.update(execution.dump().encode())
+    h.update(repr(machine.commit_order).encode())
+    return h.hexdigest()[:16]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_default_policy_matches_pre_refactor_golden(name):
+    seed, config_fn, faults_fn = _CASES[name]
+    assert _digest(seed, config_fn(), faults_fn()) == GOLDEN[name]
+
+
+def test_explicit_random_policy_matches_default():
+    """Passing RandomPolicy(seed) explicitly is the default scheduler."""
+    program = generate_program(_GEN, seed=7)
+    default = TsoMachine(program, seed=7).run()
+    explicit = TsoMachine(program, seed=7, policy=RandomPolicy(7)).run()
+    assert explicit.dump() == default.dump()
+
+
+def test_default_machine_uses_random_policy():
+    program = generate_program(_GEN, seed=7)
+    machine = TsoMachine(program, seed=7)
+    assert machine.policy.name == "random"
+    machine.run()
+    assert machine.stats.sched_decisions > 0

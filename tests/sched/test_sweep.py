@@ -1,0 +1,104 @@
+"""Systematic sweep mechanics: DFS stack, budget, determinism."""
+
+import pytest
+
+from repro.model.program import parse_litmus
+from repro.sched.sweep import SweepPolicy, outcome_key, sweep_program
+
+SB = """
+P0: S[A]#1 ; L[B]=0
+P1: S[B]#2 ; L[A]=0
+"""
+
+
+def _sb_program():
+    program, _ = parse_litmus(SB)
+    return program
+
+
+def test_choice_stack_advances_depth_first():
+    policy = SweepPolicy()
+
+    class _M:  # minimal bind target
+        class config:
+            drain_bias = 0.35
+
+    policy.bind(_M)
+    assert policy.pick_cpu([0, 1, 2]) == 0
+    assert policy.pick_cpu([0, 1]) == 0
+    assert policy.stack == [[0, 3], [0, 2]]
+    assert policy.advance()
+    policy.bind(_M)
+    assert policy.pick_cpu([0, 1, 2]) == 0
+    assert policy.pick_cpu([0, 1]) == 1  # deepest choice incremented
+    assert policy.advance()
+    policy.bind(_M)
+    assert policy.pick_cpu([0, 1, 2]) == 1  # deepest exhausted, pop up
+    assert policy.pick_cpu([0, 1]) == 0
+
+
+def test_advance_false_when_tree_exhausted():
+    policy = SweepPolicy()
+
+    class _M:
+        class config:
+            drain_bias = 0.35
+
+    policy.bind(_M)
+    policy.pick_cpu([0, 1])
+    assert policy.advance()
+    policy.bind(_M)
+    policy.pick_cpu([0, 1])
+    assert not policy.advance()
+
+
+def test_unreached_suffix_is_discarded():
+    """Choices past the cursor belong to abandoned subtrees and must not
+    leak into the next schedule."""
+    policy = SweepPolicy()
+
+    class _M:
+        class config:
+            drain_bias = 0.35
+
+    policy.bind(_M)
+    policy.pick_cpu([0, 1])
+    policy.pick_cpu([0, 1, 2])
+    policy.advance()          # now [ [0,2],[1,3] ]
+    policy.bind(_M)
+    policy.pick_cpu([0, 1])   # re-follows prefix
+    # This run never reaches the second decision; advance must drop it.
+    assert policy.advance()
+    assert policy.stack == [[1, 2]]
+
+
+def test_budget_is_respected():
+    result = sweep_program(_sb_program(), budget=3)
+    assert result.stats.schedules_run == 3
+    assert not result.stats.complete
+    assert result.stats.budget == 3
+
+
+def test_sweep_is_deterministic():
+    a = sweep_program(_sb_program(), budget=200)
+    b = sweep_program(_sb_program(), budget=200)
+    assert list(a.outcomes) == list(b.outcomes)
+    assert a.stats.schedules_run == b.stats.schedules_run
+    assert a.stats.complete == b.stats.complete
+
+
+def test_outcomes_deduplicate_by_execution():
+    result = sweep_program(_sb_program(), budget=2000)
+    assert result.stats.complete
+    total = sum(o.count for o in result.outcomes.values())
+    assert total == result.stats.schedules_run
+    assert result.stats.distinct_outcomes == len(result.outcomes)
+    for key, outcome in result.outcomes.items():
+        assert key == outcome_key(outcome.execution)
+    assert len(result.executions()) == len(result.outcomes)
+
+
+def test_stats_render():
+    result = sweep_program(_sb_program(), budget=2000)
+    line = result.stats.render()
+    assert "schedule" in line and "complete" in line

@@ -1,0 +1,120 @@
+"""Record-and-replay: traces round-trip and replays are exact or loud."""
+
+import pytest
+
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.sched.pct import PctPolicy
+from repro.sched.policy import RandomPolicy
+from repro.sched.trace import (
+    RecordingPolicy,
+    ReplayPolicy,
+    ScheduleDivergence,
+    ScheduleTrace,
+)
+from repro.sim.faults import StoreBufferReorderFault
+from repro.sim.machine import MachineConfig, TsoMachine
+
+GEN = GeneratorConfig(nprocs=3, ops_per_proc=30, shared_words=4)
+
+
+def _record(seed, config=None, faults=(), inner=None):
+    program = generate_program(GEN, seed=seed)
+    recorder = RecordingPolicy(inner or RandomPolicy(seed))
+    machine = TsoMachine(
+        program, seed=seed, config=config, faults=list(faults),
+        policy=recorder,
+    )
+    execution = machine.run()
+    return program, execution, recorder.trace
+
+
+def _replay(program, trace, seed, config=None, faults=()):
+    machine = TsoMachine(
+        program, seed=seed, config=config, faults=list(faults),
+        policy=ReplayPolicy(trace),
+    )
+    return machine.run()
+
+
+def test_record_then_replay_is_identical():
+    program, original, trace = _record(5)
+    replayed = _replay(program, trace, seed=5)
+    assert replayed.dump() == original.dump()
+
+
+def test_record_then_replay_identical_under_active_fault():
+    """Replay reproduces a faulty run: fault RNG comes from the machine
+    seed and the schedule from the trace, so nothing is left to chance."""
+    fault = lambda: [StoreBufferReorderFault(rate=0.7)]
+    program, original, trace = _record(9, faults=fault())
+    replayed = _replay(program, trace, seed=9, faults=fault())
+    assert replayed.dump() == original.dump()
+
+
+def test_record_wraps_any_policy():
+    program, original, trace = _record(4, inner=PctPolicy(seed=4, depth=2))
+    assert trace.policy == "pct"
+    replayed = _replay(program, trace, seed=4)
+    assert replayed.dump() == original.dump()
+
+
+def test_trace_records_pso_and_drain_choices():
+    config = MachineConfig(pso_mode=True, drain_bias=0.5)
+    program, original, trace = _record(6, config=config)
+    kinds = {k for k, _ in trace.choices}
+    assert {"c", "d"} <= kinds
+    replayed = _replay(program, trace, seed=6, config=config)
+    assert replayed.dump() == original.dump()
+
+
+def test_trace_records_delay_choices_with_jitter():
+    config = MachineConfig(invalidate_jitter=3)
+    program, original, trace = _record(8, config=config)
+    assert any(k == "y" for k, _ in trace.choices)
+    replayed = _replay(program, trace, seed=8, config=config)
+    assert replayed.dump() == original.dump()
+
+
+def test_json_round_trip(tmp_path):
+    _, _, trace = _record(5)
+    trace.meta["note"] = "hello"
+    path = str(tmp_path / "t.json")
+    trace.save(path)
+    loaded = ScheduleTrace.load(path)
+    assert loaded.policy == trace.policy
+    assert loaded.choices == trace.choices
+    assert loaded.meta == trace.meta
+    assert loaded.to_json() == trace.to_json()
+
+
+def test_from_json_rejects_bad_version_and_tags():
+    with pytest.raises(ValueError, match="version"):
+        ScheduleTrace.from_json('{"version": 99, "policy": "x", "choices": []}')
+    with pytest.raises(ValueError, match="choice tag"):
+        ScheduleTrace.from_json(
+            '{"version": 1, "policy": "x", "choices": [["z", 0]], "meta": {}}'
+        )
+
+
+def test_replay_diverges_on_wrong_program():
+    """Replaying against a different program fails loudly, not silently."""
+    program, _, trace = _record(5)
+    other = generate_program(GEN, seed=6)
+    with pytest.raises(ScheduleDivergence):
+        _replay(other, trace, seed=6)
+
+
+def test_replay_diverges_on_truncated_trace():
+    program, _, trace = _record(5)
+    trace.choices = trace.choices[: len(trace.choices) // 2]
+    with pytest.raises(ScheduleDivergence, match="exhausted"):
+        _replay(program, trace, seed=5)
+
+
+def test_replay_exhausted_property():
+    program, _, trace = _record(5)
+    policy = ReplayPolicy(trace)
+    assert not policy.exhausted
+    TsoMachine(program, seed=5, policy=policy).run()
+    assert policy.exhausted

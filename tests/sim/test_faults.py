@@ -201,3 +201,82 @@ class TestMechanismSpecifics:
         machine.run()
         # Even split across ticks, the lone swap still completes.
         assert machine.memory.read(0) != 0
+
+
+class TestDrainIndexZeroRegression:
+    """``Fault.pick_drain_index`` returning 0 means "force the FIFO head",
+    which is distinct from ``None`` ("no opinion").  A truthiness check in
+    ``TsoMachine._drain_one`` used to conflate the two and hand index 0
+    over to the scheduling policy instead."""
+
+    class _HeadPinningFault(Fault):
+        """Always forces the FIFO head to drain."""
+
+        def pick_drain_index(self, pid, buffer):
+            self.activations += 1
+            return 0
+
+    class _TailPickingPolicy:
+        """Policy that always drains the *last* eligible entry — the
+        opposite of what a head-pinning fault demands, so any fall-through
+        from the fault to the policy is visible."""
+
+        name = "tail"
+        drain_bias = 1.0
+
+        def bind(self, machine):
+            pass
+
+        def pick_cpu(self, runnable):
+            return runnable[0]
+
+        def should_drain(self, pid, buffer):
+            return True
+
+        def pick_drain_index(self, eligible):
+            return eligible[-1]
+
+        def pick_delay(self, lo, hi):
+            return lo
+
+    def _machine(self, faults):
+        from repro.model.ops import IStore
+        from repro.model.program import Program, Thread
+
+        program = Program(threads=[Thread([IStore(addr=0)])])
+        return TsoMachine(
+            program,
+            seed=0,
+            config=MachineConfig(pso_mode=True),
+            faults=faults,
+            policy=self._TailPickingPolicy(),
+        )
+
+    def _load_buffer(self, machine):
+        from repro.sim.storebuffer import BufferedStore
+
+        buffer = machine.buffers[0]
+        buffer.push(BufferedStore(words=((0, 11),), tag="head"))
+        buffer.push(BufferedStore(words=((8, 22),), tag="tail"))
+        return buffer
+
+    def test_fault_index_zero_forces_fifo_head(self):
+        fault = self._HeadPinningFault(rate=1.0)
+        machine = self._machine([fault])
+        buffer = self._load_buffer(machine)
+        machine._drain_one(machine.cpus[0])
+        # The head entry (addr 0) must be gone; the tail must remain.
+        assert fault.activations == 1
+        assert len(buffer) == 1
+        assert buffer.peek(0).tag == "tail"
+        assert machine.commit_order[-1] == (0, 11)
+
+    def test_no_fault_defers_to_policy(self):
+        """Sanity for the same setup: with no fault opinion, the PSO
+        policy's pick (the tail) wins — proving the previous test really
+        exercises the fault override and not a policy coincidence."""
+        machine = self._machine([])
+        buffer = self._load_buffer(machine)
+        machine._drain_one(machine.cpus[0])
+        assert buffer.peek(0).tag == "head"
+        assert machine.commit_order[-1] == (8, 22)
