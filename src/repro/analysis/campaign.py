@@ -24,6 +24,7 @@ import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.analysis.pool import ProgressFn, run_tasks
 from repro.analysis.replay import hunt_trace_meta
 from repro.core.api import check
@@ -214,25 +215,31 @@ def hunt_bug(
         + (zlib.crc32(cpu_name.encode()) % 1_000_003) * 101
         + bug_index * 7_919
     )
-    for attempt in range(config.tests_per_bug):
-        seed = base + attempt
-        program = generate_program(config.generator, seed=seed)
-        fault = spec.instantiate()
-        machine = TsoMachine(
-            program, seed=seed, config=config.machine, faults=[fault],
-            policy=make_policy(config.sched, seed=seed),
-        )
-        observed = machine.run()
-        detected, via = _triage(spec, program, machine, observed, config.model)
-        if detected:
-            return BugHunt(
-                spec=spec, cpu=cpu_name, detected=True,
-                tests_run=attempt + 1, detected_on_seed=seed, via=via,
-                schedule=_record_detection(spec, cpu_name, config, seed, via),
+    with telemetry.span("hunt", bug=spec.name, cpu=cpu_name):
+        for attempt in range(config.tests_per_bug):
+            seed = base + attempt
+            program = generate_program(config.generator, seed=seed)
+            fault = spec.instantiate()
+            machine = TsoMachine(
+                program, seed=seed, config=config.machine, faults=[fault],
+                policy=make_policy(config.sched, seed=seed),
             )
-    return BugHunt(
-        spec=spec, cpu=cpu_name, detected=False, tests_run=config.tests_per_bug
-    )
+            observed = machine.run()
+            detected, via = _triage(
+                spec, program, machine, observed, config.model
+            )
+            if detected:
+                return BugHunt(
+                    spec=spec, cpu=cpu_name, detected=True,
+                    tests_run=attempt + 1, detected_on_seed=seed, via=via,
+                    schedule=_record_detection(
+                        spec, cpu_name, config, seed, via
+                    ),
+                )
+        return BugHunt(
+            spec=spec, cpu=cpu_name, detected=False,
+            tests_run=config.tests_per_bug,
+        )
 
 
 def _record_detection(

@@ -8,9 +8,10 @@ list of picklable task specs across a pool of worker *processes* with:
 
 * a hard per-task timeout — a wedged simulation (or a genuinely hung
   analysis) cannot stall the batch; the worker is killed and replaced;
-* retry-once on worker crash or timeout — a task that fails twice is
-  recorded as **hung** in the :class:`~repro.core.result.PoolStats`
-  (never silently dropped) and its result slot stays ``None``;
+* retry-once on worker crash, task exception, broken pipe or timeout —
+  a task that fails twice is recorded as **hung** in the
+  :class:`~repro.core.result.PoolStats` (never silently dropped) and its
+  result slot stays ``None``;
 * deterministic results — every task carries its own derived seed, so
   results are identical to the sequential path regardless of worker
   count or scheduling order (results are returned in task order).
@@ -18,11 +19,24 @@ list of picklable task specs across a pool of worker *processes* with:
 Workers are fed one task at a time over per-worker pipes, so the parent
 always knows exactly which task a dead or overdue worker was running —
 there is no window in which a task can be lost between a shared queue
-and a crash.
+and a crash.  A pipe that fails mid-task is treated exactly like a
+worker death (the process may well still be alive with the fd gone):
+the worker is killed, the task retried or recorded hung, and a
+replacement spawned — never polled again.
 
-With ``workers <= 1`` everything runs inline in the parent process
-(no multiprocessing at all), which is the default and keeps existing
-callers byte-for-byte unchanged.
+With ``workers <= 1`` everything runs inline in the parent process (no
+multiprocessing at all), which is the default.  The inline path applies
+the *same* retry/hung accounting to a task that raises as the pool path
+does for a task that raises in a worker, and emits the same
+``retry``/``hung`` :class:`PoolEvent` stream — batch semantics do not
+depend on the worker count.  Only timeout enforcement needs real
+worker processes.
+
+When :mod:`repro.telemetry` is enabled, the batch runs under a
+``pool.batch`` span, queue wait time is accumulated in the
+``pool.queue_wait`` timer, per-task compute time lands in the
+``pool.task_seconds`` histogram, and every retry/hang emits a
+``pool.retry``/``pool.hung`` event.
 """
 
 from __future__ import annotations
@@ -34,6 +48,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.core.result import PoolStats
 
 #: How often (seconds) the parent scans for overdue / dead workers.
@@ -83,6 +98,40 @@ class PoolEvent:
 ProgressFn = Callable[[PoolEvent], None]
 
 
+def _emit(
+    progress: Optional[ProgressFn],
+    stats: PoolStats,
+    kind: str,
+    index: int,
+    label: str,
+    worker: int,
+    seconds: float,
+    attempt: int,
+) -> None:
+    """Report one pool event to the progress callback and to telemetry.
+
+    The single emission point for both execution paths, called only
+    *after* ``stats`` reflects the event, so ``PoolEvent.completed``
+    (resolved tasks: done + hung) always includes the event being
+    reported — identically inline and pooled.
+    """
+    tel = telemetry.get_telemetry()
+    if tel.enabled:
+        if kind == "done":
+            tel.record("pool.task_seconds", seconds)
+        else:
+            tel.event(
+                f"pool.{kind}", index=index, label=label, worker=worker,
+                attempt=attempt,
+            )
+    if progress is not None:
+        progress(PoolEvent(
+            kind=kind, index=index, label=label, worker=worker,
+            seconds=seconds, attempt=attempt,
+            completed=stats.completed + stats.hung, total=stats.tasks,
+        ))
+
+
 def _mp_context() -> multiprocessing.context.BaseContext:
     """Pick a start method: ``fork`` where safe (fast), else ``spawn``.
 
@@ -105,7 +154,13 @@ def _worker_main(
     Messages to the parent are ``("done", seconds, value)`` or
     ``("error", seconds, repr)``; a ``None`` task is the shutdown
     sentinel.
+
+    Telemetry: the worker attaches to the campaign's JSONL sink (path
+    inherited through the environment) and flushes its cumulative
+    snapshot after every task — a worker killed by the parent gets no
+    ``atexit``, so per-task flushes are the durability story.
     """
+    telemetry.init_worker()
     while True:
         try:
             item = conn.recv()
@@ -119,11 +174,13 @@ def _worker_main(
         try:
             value = fn(task)
         except BaseException as exc:  # noqa: BLE001 - report, parent decides
+            telemetry.get_telemetry().flush()
             conn.send((
                 "error", time.perf_counter() - start,
                 time.process_time() - cpu_start, repr(exc),
             ))
         else:
+            telemetry.get_telemetry().flush()
             conn.send((
                 "done", time.perf_counter() - start,
                 time.process_time() - cpu_start, value,
@@ -193,12 +250,14 @@ def run_tasks(
         tasks: picklable task specs; each must fully determine its own
             result (carry its own seed) so ordering cannot matter.
         workers: process count; ``<= 1`` runs inline with no
-            multiprocessing (and therefore no timeout enforcement).
+            multiprocessing (and therefore no timeout enforcement —
+            exception retry/hung accounting still applies).
         task_timeout: hard per-task wall-clock limit in seconds; an
             overdue worker is killed and the task retried or recorded
-            hung.  ``None`` disables the limit.
-        retries: how many *additional* attempts a crashed or timed-out
-            task gets before being recorded as hung (default: one).
+            hung.  ``None`` disables the limit (``workers > 1`` only).
+        retries: how many *additional* attempts a crashed, raising or
+            timed-out task gets before being recorded as hung
+            (default: one); applied identically inline and pooled.
         labels: display names for progress events (defaults to
             ``task[i]``'s ``str``).
         progress: optional callback receiving a :class:`PoolEvent` per
@@ -216,14 +275,17 @@ def run_tasks(
     stats = PoolStats(tasks=len(tasks), workers=max(1, workers))
     results: List[Optional[Any]] = [None] * len(tasks)
     start = time.perf_counter()
-    if workers <= 1:
-        _run_inline(fn, tasks, names, results, stats, progress)
-    else:
-        _run_pool(
-            fn, tasks, names, results, stats,
-            workers=workers, task_timeout=task_timeout,
-            retries=retries, progress=progress,
-        )
+    with telemetry.span(
+        "pool.batch", workers=stats.workers, tasks=len(tasks)
+    ):
+        if workers <= 1:
+            _run_inline(fn, tasks, names, results, stats, retries, progress)
+        else:
+            _run_pool(
+                fn, tasks, names, results, stats,
+                workers=workers, task_timeout=task_timeout,
+                retries=retries, progress=progress,
+            )
     stats.wall_seconds = time.perf_counter() - start
     return results, stats
 
@@ -234,23 +296,43 @@ def _run_inline(
     names: List[str],
     results: List[Optional[Any]],
     stats: PoolStats,
+    retries: int,
     progress: Optional[ProgressFn],
 ) -> None:
-    """The sequential path: identical to a plain loop over ``fn``."""
+    """The sequential path: a plain loop over ``fn``, pool semantics.
+
+    A raising task must not crash the batch — ``workers=1`` gets the
+    same retry budget, the same ``hung`` accounting and the same
+    ``retry``/``hung`` events as a raising task under ``workers>1``
+    (where the worker reports ``error`` and the parent retries).  Only
+    ``Exception`` is caught: KeyboardInterrupt and friends still abort
+    the batch, matching what they do to the pool parent.
+    """
     for index, task in enumerate(tasks):
-        t0 = time.perf_counter()
-        c0 = time.process_time()
-        results[index] = fn(task)
-        elapsed = time.perf_counter() - t0
-        stats.completed += 1
-        stats.cpu_seconds += time.process_time() - c0
-        stats.per_worker[0] = stats.per_worker.get(0, 0) + 1
-        if progress is not None:
-            progress(PoolEvent(
-                kind="done", index=index, label=names[index], worker=0,
-                seconds=elapsed, attempt=1, completed=stats.completed,
-                total=stats.tasks,
-            ))
+        for attempt in range(1, max(0, retries) + 2):
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            try:
+                value = fn(task)
+            except Exception:  # noqa: BLE001 - same contract as the pool
+                stats.cpu_seconds += time.process_time() - c0
+                if attempt <= retries:
+                    stats.retries += 1
+                    _emit(progress, stats, "retry", index, names[index],
+                          0, 0.0, attempt)
+                    continue
+                stats.hung += 1
+                _emit(progress, stats, "hung", index, names[index],
+                      0, 0.0, attempt)
+                break
+            results[index] = value
+            elapsed = time.perf_counter() - t0
+            stats.completed += 1
+            stats.cpu_seconds += time.process_time() - c0
+            stats.per_worker[0] = stats.per_worker.get(0, 0) + 1
+            _emit(progress, stats, "done", index, names[index],
+                  0, elapsed, attempt)
+            break
 
 
 def _run_pool(
@@ -268,19 +350,14 @@ def _run_pool(
     """The multiprocessing path of :func:`run_tasks`."""
     ctx = _mp_context()
     nworkers = min(workers, len(tasks)) or 1
-    #: FIFO of (index, attempt) still to dispatch.
-    queue: List[Tuple[int, int]] = [(i, 1) for i in range(len(tasks))]
+    tel = telemetry.get_telemetry()
+    #: FIFO of (index, attempt, enqueue time) still to dispatch.
+    queue: List[Tuple[int, int, float]] = [
+        (i, 1, time.monotonic()) for i in range(len(tasks))
+    ]
     resolved = 0  # done + hung
     pool: Dict[int, _Worker] = {}
     next_id = 0
-
-    def emit(kind: str, index: int, worker: int, seconds: float, attempt: int) -> None:
-        if progress is not None:
-            progress(PoolEvent(
-                kind=kind, index=index, label=names[index], worker=worker,
-                seconds=seconds, attempt=attempt, completed=resolved,
-                total=stats.tasks,
-            ))
 
     def spawn() -> _Worker:
         nonlocal next_id
@@ -290,16 +367,26 @@ def _run_pool(
         return worker
 
     def retry_or_hang(index: int, attempt: int, worker_id: int) -> None:
-        """A task's attempt died (crash or timeout): requeue or give up."""
+        """A task's attempt died (crash, broken pipe or timeout):
+        requeue or give up."""
         nonlocal resolved
         if attempt <= retries:
             stats.retries += 1
-            queue.append((index, attempt + 1))
-            emit("retry", index, worker_id, 0.0, attempt)
+            queue.append((index, attempt + 1, time.monotonic()))
+            _emit(progress, stats, "retry", index, names[index],
+                  worker_id, 0.0, attempt)
         else:
             stats.hung += 1
             resolved += 1
-            emit("hung", index, worker_id, 0.0, attempt)
+            _emit(progress, stats, "hung", index, names[index],
+                  worker_id, 0.0, attempt)
+
+    def reap(worker: _Worker, index: int, attempt: int) -> None:
+        """Kill a dead/overdue/unreachable worker and replace it."""
+        del pool[worker.id]
+        worker.kill()
+        retry_or_hang(index, attempt, worker.id)
+        spawn()
 
     def dispatch() -> None:
         """Hand queued tasks to idle workers."""
@@ -307,8 +394,12 @@ def _run_pool(
             if not queue:
                 return
             if worker.busy is None:
-                index, attempt = queue.pop(0)
+                index, attempt, enqueued = queue.pop(0)
                 worker.assign(index, attempt, tasks[index])
+                if tel.enabled:
+                    tel.observe(
+                        "pool.queue_wait", time.monotonic() - enqueued
+                    )
 
     for _ in range(nworkers):
         spawn()
@@ -326,7 +417,13 @@ def _run_pool(
                 try:
                     kind, seconds, cpu_seconds, payload = conn.recv()
                 except (EOFError, OSError):
-                    # Worker died mid-task; handled by the liveness scan.
+                    # The pipe failed mid-task.  The process may still be
+                    # alive (e.g. the task closed its own fds), in which
+                    # case `wait` would report this dead conn ready on
+                    # every poll forever — a busy-loop with no timeout to
+                    # break it.  Treat a failed recv as worker death:
+                    # kill, account, respawn; never poll this conn again.
+                    reap(worker, index, attempt)
                     continue
                 worker.busy = None
                 if kind == "done":
@@ -337,7 +434,8 @@ def _run_pool(
                         stats.per_worker.get(worker.id, 0) + 1
                     )
                     resolved += 1
-                    emit("done", index, worker.id, seconds, attempt)
+                    _emit(progress, stats, "done", index, names[index],
+                          worker.id, seconds, attempt)
                 else:  # "error": the task raised inside the worker.
                     retry_or_hang(index, attempt, worker.id)
             now = time.monotonic()

@@ -24,6 +24,7 @@ import dataclasses
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.analysis.campaign import (
     CampaignConfig,
     format_table1,
@@ -72,6 +73,19 @@ def _add_generation_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ops", type=int, default=100, help="instructions per processor")
     parser.add_argument("--words", type=int, default=16, help="shared 4-byte words")
     parser.add_argument("--seed", type=int, default=0, help="PRNG seed")
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", metavar="FILE.jsonl",
+        help="stream telemetry (spans, pool events, per-process snapshots) "
+             "as JSON lines to this file; pool workers append to the same "
+             "file (see docs/telemetry.md)",
+    )
+    parser.add_argument(
+        "--telemetry-summary", action="store_true",
+        help="print an end-of-run telemetry summary to stderr",
+    )
 
 
 def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
@@ -414,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay-schedule", metavar="FILE",
                    help="re-execute a recorded ScheduleTrace exactly "
                         "(generation args are ignored)")
+    _add_telemetry_args(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("check", help="analyze a trace file (what-if friendly)")
@@ -423,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", help="write the violation region as Graphviz DOT")
     p.add_argument("--graph", help="write the full analysis graph as text")
     p.add_argument("--html", help="write a clickable HTML debug report")
+    _add_telemetry_args(p)
     p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("minimize", help="shrink a failing trace to its core")
@@ -488,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record-schedule", metavar="DIR",
                    help="persist every detected hunt's ScheduleTrace as "
                         "DIR/<bug>.schedule.json")
+    _add_telemetry_args(p)
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
@@ -509,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "publishing timing numbers")
     p.add_argument("--task-timeout", type=float, default=None,
                    help="hard per-point timeout in seconds (workers > 1 only)")
+    _add_telemetry_args(p)
     p.set_defaults(func=_cmd_runtime)
 
     return parser
@@ -517,7 +535,24 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    want_summary = bool(getattr(args, "telemetry_summary", False))
+    if metrics_out or want_summary:
+        telemetry.configure(metrics_out=metrics_out)
+    try:
+        return args.func(args)
+    finally:
+        tel = telemetry.get_telemetry()
+        if tel.enabled:
+            tel.flush()
+            tel.close()
+            if want_summary:
+                if metrics_out:
+                    print(telemetry.summarize_file(metrics_out),
+                          file=sys.stderr)
+                else:
+                    print(tel.summary(), file=sys.stderr)
+            telemetry.reset()
 
 
 if __name__ == "__main__":

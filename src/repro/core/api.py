@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro import telemetry
 from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
 from repro.core.matrix import MatrixChecker
@@ -66,8 +67,10 @@ def check_execution(
     parsed back from :meth:`repro.model.trace.Execution.load` after a
     what-if edit), plus initial memory values.
     """
-    aprog = expand(execution, initial=initial, word_names=word_names)
-    return make_checker(model, engine).run(aprog)
+    with telemetry.span("expand"):
+        aprog = expand(execution, initial=initial, word_names=word_names)
+    with telemetry.span("check", engine=engine, model=model.name):
+        return make_checker(model, engine).run(aprog)
 
 
 def check(

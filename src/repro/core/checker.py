@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import telemetry
 from repro.core.graph import ConstraintGraph, CycleDetected
 from repro.core.policy import MemoryModel, TSO, static_edges
 from repro.core.result import (
@@ -118,6 +119,7 @@ class BaselineChecker:
         violation = precheck_violation(aprog)
         if violation is not None:
             stats.seconds = time.perf_counter() - start
+            telemetry.record_check(stats, self.name)
             return CheckResult(
                 ok=False, model_name=self.model.name, engine=self.name,
                 violation=violation, stats=stats, aprog=aprog,
@@ -137,6 +139,7 @@ class BaselineChecker:
             violation = self._self_loop_violation(aprog, graph, exc)
 
         stats.seconds = time.perf_counter() - start
+        telemetry.record_check(stats, self.name)
         return CheckResult(
             ok=violation is None,
             model_name=self.model.name,

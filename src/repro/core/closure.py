@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.core.checker import observed_edges, precheck_violation
 from repro.core.graph import ConstraintGraph, CycleDetected
 from repro.core.policy import MemoryModel, TSO, static_edges
@@ -116,6 +117,7 @@ class ClosureChecker:
             violation = self._analyze(aprog, stats)
 
         stats.seconds = time.perf_counter() - start
+        telemetry.record_check(stats, self.name)
         return CheckResult(
             ok=violation is None,
             model_name=self.model.name,
@@ -164,6 +166,7 @@ class ClosureChecker:
         if not self.inferred_rules:
             return None
         reach_from, reach_to = compute_closure(graph, order)
+        stats.closure_rebuilds += 1
 
         stores_at: Dict[int, int] = {
             addr: sum(1 << s for s in stores)
@@ -233,6 +236,7 @@ class ClosureChecker:
             if order is None:
                 return self._found_cycle(aprog, graph)
             reach_from, reach_to = compute_closure(graph, order)
+            stats.closure_rebuilds += 1
 
     # ------------------------------------------------------------------
 

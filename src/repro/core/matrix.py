@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.checker import observed_edges, precheck_violation
 from repro.core.closure import topological_order
 from repro.core.graph import ConstraintGraph, CycleDetected
@@ -86,6 +87,7 @@ class MatrixChecker:
             violation = self._analyze(aprog, stats)
 
         stats.seconds = time.perf_counter() - start
+        telemetry.record_check(stats, self.name)
         return CheckResult(
             ok=violation is None,
             model_name=self.model.name,
@@ -145,6 +147,7 @@ class MatrixChecker:
             if order is None:
                 return self._found_cycle(aprog, graph)
             reach_from, reach_to = self._compute_closure(graph, order, n, nwords)
+            stats.closure_rebuilds += 1
 
             stats.iterations += 1
             added = 0

@@ -184,7 +184,14 @@ class SweepStats:
 
 @dataclass
 class CheckStats:
-    """Bookkeeping about one analysis run (feeds the Fig. 8/9 harness)."""
+    """Bookkeeping about one analysis run (feeds the Fig. 8/9 harness).
+
+    Every engine fills the shared fields; ``traversals``/
+    ``traversal_visits`` are traversal-engine specific and
+    ``closure_rebuilds`` closure/matrix-engine specific.  The per-run
+    stats also feed :func:`repro.telemetry.record_check`, which folds
+    them into the process-wide ``check.*`` counters.
+    """
 
     nodes: int = 0
     static_edges: int = 0
@@ -198,11 +205,28 @@ class CheckStats:
     #: during the traversal of predecessor/successor subgraphs").
     traversals: int = 0
     traversal_visits: int = 0
+    #: Closure/matrix engines only: how many times the transitive closure
+    #: was recomputed (once per fixed-point pass plus the initial build).
+    closure_rebuilds: int = 0
 
     @property
     def edges(self) -> int:
         """Total explicit edges added to the graph."""
         return self.static_edges + self.observed_edges + self.inferred_edges
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (archived metrics and reports)."""
+        return {
+            "nodes": self.nodes,
+            "static_edges": self.static_edges,
+            "observed_edges": self.observed_edges,
+            "inferred_edges": self.inferred_edges,
+            "iterations": self.iterations,
+            "seconds": self.seconds,
+            "traversals": self.traversals,
+            "traversal_visits": self.traversal_visits,
+            "closure_rebuilds": self.closure_rebuilds,
+        }
 
 
 @dataclass

@@ -28,6 +28,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.generator.config import GeneratorConfig
 from repro.generator.patterns import build_pattern
 from repro.model.ops import (
@@ -68,14 +69,15 @@ def generate_program(config: GeneratorConfig, seed: int = 0) -> Program:
         ``config.ops_per_proc`` instructions per processor and all shared
         words initialised to 0.
     """
-    rng = random.Random(seed)
-    gen = _ThreadGenerator(config, rng)
-    threads = [gen.generate_thread(pid) for pid in range(config.nprocs)]
-    initial = {addr: 0 for addr in config.word_addresses()}
-    initial.update({addr: 0 for addr in config.nc_addresses()})
-    program = Program(threads=threads, initial=initial)
-    program.validate()
-    return program
+    with telemetry.span("generate", procs=config.nprocs, ops=config.ops_per_proc):
+        rng = random.Random(seed)
+        gen = _ThreadGenerator(config, rng)
+        threads = [gen.generate_thread(pid) for pid in range(config.nprocs)]
+        initial = {addr: 0 for addr in config.word_addresses()}
+        initial.update({addr: 0 for addr in config.nc_addresses()})
+        program = Program(threads=threads, initial=initial)
+        program.validate()
+        return program
 
 
 class _ThreadGenerator:

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.generator.lfsr import Lfsr
 from repro.model.ops import (
     WORD_SIZE,
@@ -223,6 +224,20 @@ class TsoMachine:
         The observed trace may differ from ``self.true_execution`` only
         when an environment-class fault corrupts the observation path.
         """
+        with telemetry.span("simulate", procs=len(self.cpus)):
+            observed = self._run_to_completion()
+        tel = telemetry.get_telemetry()
+        if tel.enabled:
+            tel.count("sim.runs")
+            tel.count("sim.cycles", self.tick)
+            tel.count("sim.drains", self.stats.commits)
+            tel.count("sim.invalidates", self.stats.invalidations)
+            tel.count("sim.forwards", self.stats.forwards)
+            tel.count("sim.sched_decisions", self.stats.sched_decisions)
+            tel.record("sim.cycles_per_run", self.tick)
+        return observed
+
+    def _run_to_completion(self) -> Execution:
         total = sum(len(t) for t in self.program.threads)
         max_ticks = self.config.max_tick_factor * max(total, 1) + 1000
         while not self._finished():

@@ -1,0 +1,177 @@
+"""The versioned JSONL metrics schema, and a validator for CI.
+
+Format (``v`` 1), one JSON object per line, three kinds::
+
+    {"v":1,"kind":"span","name":"check","ts":<float>,"pid":<int>,
+     "seconds":<float>,"fields":{...}}
+    {"v":1,"kind":"event","name":"pool.retry","ts":<float>,"pid":<int>,
+     "fields":{...}}
+    {"v":1,"kind":"snapshot","name":"snapshot","ts":<float>,"pid":<int>,
+     "counters":{...},"timers":{...},"histograms":{...}}
+
+The version field is bumped on incompatible changes, mirroring how
+``repro.sched.trace.ScheduleTrace`` versions its JSON documents.
+Validate a file from the command line (used by the CI telemetry job)::
+
+    python -m repro.telemetry.schema run.jsonl \
+        --require-spans generate simulate expand check
+
+Exit code 0 when every line validates (and every required span name
+appears at least once), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Current event-stream format version.
+SCHEMA_VERSION = 1
+
+#: Allowed values for the ``kind`` field.
+KINDS = ("span", "event", "snapshot")
+
+_NUMBER = (int, float)
+
+
+class SchemaError(ValueError):
+    """A metrics line does not conform to the documented schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _check_common(obj: Dict[str, Any]) -> None:
+    _require(isinstance(obj, dict), "line is not a JSON object")
+    _require(obj.get("v") == SCHEMA_VERSION,
+             f"bad or missing version: {obj.get('v')!r}")
+    _require(obj.get("kind") in KINDS, f"bad kind: {obj.get('kind')!r}")
+    _require(isinstance(obj.get("name"), str) and obj["name"] != "",
+             "name must be a non-empty string")
+    _require(isinstance(obj.get("ts"), _NUMBER), "ts must be a number")
+    _require(isinstance(obj.get("pid"), int), "pid must be an integer")
+
+
+def _check_histogram(name: str, hist: Any) -> None:
+    _require(isinstance(hist, dict), f"histogram {name!r} must be an object")
+    for key in ("count", "total", "buckets"):
+        _require(key in hist, f"histogram {name!r} missing {key!r}")
+    _require(isinstance(hist["count"], int), f"histogram {name!r} count")
+    _require(isinstance(hist["total"], _NUMBER), f"histogram {name!r} total")
+    _require(isinstance(hist["buckets"], dict), f"histogram {name!r} buckets")
+    for bucket, count in hist["buckets"].items():
+        _require(isinstance(bucket, str) and isinstance(count, int),
+                 f"histogram {name!r} bucket {bucket!r}")
+
+
+def validate_event(obj: Dict[str, Any]) -> None:
+    """Validate one parsed metrics line; raise :class:`SchemaError`."""
+    _check_common(obj)
+    kind = obj["kind"]
+    if kind == "span":
+        _require(isinstance(obj.get("seconds"), _NUMBER),
+                 "span.seconds must be a number")
+        _require(obj["seconds"] >= 0, "span.seconds must be >= 0")
+        _require(isinstance(obj.get("fields"), dict),
+                 "span.fields must be an object")
+    elif kind == "event":
+        _require(isinstance(obj.get("fields"), dict),
+                 "event.fields must be an object")
+    else:  # snapshot
+        _require(isinstance(obj.get("counters"), dict),
+                 "snapshot.counters must be an object")
+        _require(isinstance(obj.get("timers"), dict),
+                 "snapshot.timers must be an object")
+        _require(isinstance(obj.get("histograms"), dict),
+                 "snapshot.histograms must be an object")
+        for name, value in obj["counters"].items():
+            _require(isinstance(name, str) and isinstance(value, _NUMBER),
+                     f"snapshot counter {name!r}")
+        for name, timer in obj["timers"].items():
+            _require(
+                isinstance(timer, dict)
+                and isinstance(timer.get("count"), int)
+                and isinstance(timer.get("seconds"), _NUMBER),
+                f"snapshot timer {name!r}",
+            )
+        for name, hist in obj["histograms"].items():
+            _check_histogram(name, hist)
+
+
+def validate_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
+    """Validate raw JSONL lines; return the parsed objects.
+
+    Raises :class:`SchemaError` naming the first offending line number.
+    """
+    parsed: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"line {lineno}: not JSON ({exc})") from exc
+        try:
+            validate_event(obj)
+        except SchemaError as exc:
+            raise SchemaError(f"line {lineno}: {exc}") from exc
+        parsed.append(obj)
+    return parsed
+
+
+def validate_file(
+    path: str, require_spans: Sequence[str] = ()
+) -> Tuple[int, Dict[str, int]]:
+    """Validate a metrics file; return ``(lines, span-name counts)``.
+
+    Raises :class:`SchemaError` on the first invalid line, or when a
+    name in ``require_spans`` never appears as a span.
+    """
+    with open(path) as fh:
+        events = validate_lines(fh)
+    span_counts: Dict[str, int] = {}
+    for obj in events:
+        if obj["kind"] == "span":
+            span_counts[obj["name"]] = span_counts.get(obj["name"], 0) + 1
+    missing = [name for name in require_spans if name not in span_counts]
+    if missing:
+        raise SchemaError(
+            f"required span name(s) never recorded: {', '.join(missing)}"
+        )
+    return len(events), span_counts
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.telemetry.schema FILE [--require-spans N...]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry.schema",
+        description="validate a tsotool --metrics-out JSONL file",
+    )
+    parser.add_argument("file", help="metrics JSONL file to validate")
+    parser.add_argument(
+        "--require-spans", nargs="+", default=[], metavar="NAME",
+        help="span names that must each appear at least once",
+    )
+    args = parser.parse_args(argv)
+    try:
+        nlines, span_counts = validate_file(
+            args.file, require_spans=args.require_spans
+        )
+    except (OSError, SchemaError) as exc:
+        print(f"{args.file}: INVALID: {exc}", file=sys.stderr)
+        return 1
+    spans = sum(span_counts.values())
+    print(
+        f"{args.file}: {nlines} event(s) ok "
+        f"({spans} span(s), {len(span_counts)} distinct span name(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Pluggable telemetry sinks: where span/event/snapshot payloads go.
+
+A sink receives already-stamped JSON-safe dicts (see
+``docs/telemetry.md`` for the schema) and must be cheap: the registry
+calls :meth:`Sink.emit` synchronously from instrumented code.  Three
+implementations cover the subsystem's needs:
+
+* :class:`NullSink` — drops everything; exists so the *enabled* overhead
+  (payload construction included) can be benchmarked without I/O.
+* :class:`MemorySink` — in-process list of payloads, for tests and for
+  programmatic consumers.
+* :class:`JsonlSink` — one JSON object per line, appended with a single
+  ``os.write`` per event through an ``O_APPEND`` descriptor, so many
+  processes (a campaign parent plus its pool workers) can interleave
+  safely in one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+
+class Sink:
+    """Sink interface; subclasses override :meth:`emit` (and maybe close)."""
+
+    def emit(self, payload: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further emits are undefined."""
+
+
+class NullSink(Sink):
+    """Accepts and discards every payload."""
+
+    def emit(self, payload: Dict[str, Any]) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects payloads in a list (``sink.payloads``)."""
+
+    def __init__(self) -> None:
+        self.payloads: List[Dict[str, Any]] = []
+
+    def emit(self, payload: Dict[str, Any]) -> None:
+        self.payloads.append(payload)
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """Payloads filtered by ``kind`` (``span``/``event``/``snapshot``)."""
+        return [p for p in self.payloads if p.get("kind") == kind]
+
+
+class JsonlSink(Sink):
+    """Append-only JSON-lines file sink, safe across processes.
+
+    Every payload becomes exactly one ``write(2)`` of one newline-
+    terminated line on an ``O_APPEND`` descriptor: POSIX appends are
+    atomic per call, so lines from a campaign parent and its worker
+    processes never interleave mid-line.  ``truncate=True`` (the
+    configuring parent) starts the file fresh; workers attach with
+    ``truncate=False``.
+    """
+
+    def __init__(self, path: str, truncate: bool = False) -> None:
+        self.path = path
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        if truncate:
+            flags |= os.O_TRUNC
+        self._fd: int = os.open(path, flags, 0o644)
+
+    def emit(self, payload: Dict[str, Any]) -> None:
+        if self._fd < 0:
+            return
+        line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        os.write(self._fd, line.encode("utf-8") + b"\n")
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1

@@ -1,0 +1,169 @@
+"""Fault-injection tests for the process pool.
+
+Exercises every way a task can go wrong — raising, exiting, killing its
+own pipe, sleeping past the timeout — and pins the batch-level contract:
+results stay in order, :class:`PoolStats` accounts for every attempt,
+and the batch always terminates.  The close-pipe case runs under an
+outer watchdog process because the pre-fix failure mode was an infinite
+100% CPU busy-loop in the parent.
+"""
+
+import os
+import sys
+import time
+
+from repro.analysis.pool import _mp_context, run_tasks
+
+
+def _raise(task):
+    raise ValueError(f"boom {task}")
+
+
+def _faulty(task):
+    """Task behaviours keyed by kind: ok / raise / exit / close / sleep."""
+    kind, n = task
+    if kind == "raise":
+        raise ValueError("boom")
+    if kind == "exit":
+        sys.exit(1)
+    if kind == "close":
+        # Sever the worker's pipe to the parent, then stay alive: the
+        # parent sees EOF on a conn whose process is still running.
+        os.closerange(3, 1024)
+        time.sleep(600)
+    if kind == "sleep":
+        time.sleep(600)
+    return n * n
+
+
+class TestRaisingTasks:
+    """Satellite #1: inline and pooled raising tasks behave identically."""
+
+    def test_inline_raise_does_not_crash_the_batch(self):
+        results, stats = run_tasks(_raise, [1, 2, 3], workers=1)
+        assert results == [None, None, None]
+        assert stats.hung == 3
+        assert stats.retries == 3
+        assert stats.completed == 0
+
+    def test_inline_and_pool_hung_counts_match(self):
+        _, inline = run_tasks(_raise, [1, 2, 3], workers=1)
+        _, pooled = run_tasks(_raise, [1, 2, 3], workers=4)
+        assert inline.hung == pooled.hung == 3
+        assert inline.retries == pooled.retries == 3
+        assert inline.completed == pooled.completed == 0
+
+    def test_inline_mixed_batch_results_in_order(self):
+        tasks = [("ok", 2), ("raise", 0), ("ok", 3)]
+        results, stats = run_tasks(_faulty, tasks, workers=1)
+        assert results == [4, None, 9]
+        assert stats.completed == 2 and stats.hung == 1
+
+    def test_inline_retry_budget_respected(self):
+        _, stats = run_tasks(_raise, [1], workers=1, retries=3)
+        assert stats.retries == 3
+        assert stats.hung == 1
+
+    def test_inline_zero_retries(self):
+        _, stats = run_tasks(_raise, [1], workers=1, retries=0)
+        assert stats.retries == 0
+        assert stats.hung == 1
+
+    def test_keyboard_interrupt_still_aborts_inline(self):
+        import pytest
+
+        def interrupt(task):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(interrupt, [1], workers=1)
+
+
+class TestExitingTasks:
+    def test_sys_exit_in_worker_is_retried_then_hung(self):
+        tasks = [("ok", 2), ("exit", 0)]
+        results, stats = run_tasks(_faulty, tasks, workers=2)
+        assert results == [4, None]
+        assert stats.hung == 1
+        assert stats.retries == 1
+
+
+class TestTimeouts:
+    def test_sleep_past_timeout_is_killed(self):
+        tasks = [("ok", 2), ("sleep", 0), ("ok", 3)]
+        results, stats = run_tasks(
+            _faulty, tasks, workers=2, task_timeout=0.5
+        )
+        assert results == [4, None, 9]
+        assert stats.hung == 1
+        assert stats.completed == 2
+
+
+def _broken_pipe_batch():
+    """Child entry point: a close-pipe task with no task timeout.
+
+    Pre-fix this never returns — the parent pool busy-loops on the dead
+    conn (the worker process is alive, so the liveness scan never fires
+    and ``task_timeout=None`` means nothing else can).  Post-fix the
+    failed recv is treated as worker death and the batch finishes.
+    """
+    tasks = [("ok", 2), ("close", 0)]
+    results, stats = run_tasks(_faulty, tasks, workers=2, task_timeout=None)
+    assert results == [4, None]
+    assert stats.hung == 1
+    assert stats.retries == 1
+    os._exit(0)
+
+
+class TestBrokenPipe:
+    """Satellite #2: a failed recv() is worker death, not a busy-loop."""
+
+    def test_broken_pipe_batch_terminates(self):
+        # The pool's workers are daemonic, so the batch under test runs
+        # in a fresh non-daemon process; the join timeout is the
+        # watchdog that converts the pre-fix infinite loop into a
+        # failure instead of hanging the suite.
+        ctx = _mp_context()
+        child = ctx.Process(target=_broken_pipe_batch)
+        child.start()
+        child.join(timeout=60)
+        try:
+            assert child.exitcode == 0, (
+                "broken-pipe batch did not terminate cleanly "
+                f"(exitcode={child.exitcode})"
+            )
+        finally:
+            if child.is_alive():
+                child.kill()
+                child.join(timeout=5)
+
+
+class TestProgressAccounting:
+    """Satellite #3: ``completed`` always includes the reported event."""
+
+    @staticmethod
+    def _check_sequence(events, total):
+        resolved = 0
+        for event in events:
+            assert event.total == total
+            if event.kind in ("done", "hung"):
+                resolved += 1
+            assert event.completed == resolved
+        return resolved
+
+    def test_inline_sequence_counts_current_event(self):
+        events = []
+        tasks = [("raise", 0), ("ok", 2), ("ok", 3)]
+        run_tasks(_faulty, tasks, workers=1, progress=events.append)
+        assert [e.kind for e in events] == ["retry", "hung", "done", "done"]
+        assert self._check_sequence(events, len(tasks)) == len(tasks)
+
+    def test_pool_sequence_counts_current_event(self):
+        events = []
+        tasks = [("raise", 0), ("ok", 2), ("ok", 3), ("exit", 0)]
+        run_tasks(_faulty, tasks, workers=2, progress=events.append)
+        assert self._check_sequence(events, len(tasks)) == len(tasks)
+        kinds = sorted(e.kind for e in events)
+        assert kinds.count("done") == 2
+        assert kinds.count("hung") == 2
+        assert kinds.count("retry") == 2

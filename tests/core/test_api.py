@@ -69,6 +69,26 @@ class TestResultObjects:
         stats = CheckStats(static_edges=3, observed_edges=2, inferred_edges=5)
         assert stats.edges == 10
 
+    def test_stats_to_dict_is_json_safe(self):
+        import json
+
+        stats = CheckStats(
+            nodes=4, static_edges=3, observed_edges=2, inferred_edges=5,
+            iterations=2, seconds=0.5, closure_rebuilds=3,
+        )
+        d = json.loads(json.dumps(stats.to_dict()))
+        assert d["nodes"] == 4
+        assert d["closure_rebuilds"] == 3
+        assert d["seconds"] == 0.5
+
+    def test_closure_rebuilds_counted_by_closure_engines(self):
+        program, execution, _machine = golden_run(seed=11)
+        for engine in ("closure", "matrix"):
+            result = check(program, execution, engine=engine)
+            assert result.stats.closure_rebuilds >= 1
+        baseline = check(program, execution, engine="baseline")
+        assert baseline.stats.closure_rebuilds == 0
+
     def test_explain_pass_is_one_line(self):
         result = check_litmus("P0: S[A]#1 ; L[A]=1")
         assert "\n" not in result.explain()

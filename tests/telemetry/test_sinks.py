@@ -1,0 +1,68 @@
+"""Tests for the telemetry sinks."""
+
+import json
+
+from repro.telemetry import JsonlSink, MemorySink, NullSink
+
+
+class TestNullSink:
+    def test_drops_everything(self):
+        sink = NullSink()
+        sink.emit({"kind": "span"})
+        sink.close()
+
+
+class TestMemorySink:
+    def test_collects_and_filters(self):
+        sink = MemorySink()
+        sink.emit({"kind": "span", "name": "a"})
+        sink.emit({"kind": "event", "name": "b"})
+        assert len(sink.payloads) == 2
+        assert [p["name"] for p in sink.of_kind("span")] == ["a"]
+
+
+class TestJsonlSink:
+    def test_one_line_per_event(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(str(path), truncate=True)
+        sink.emit({"kind": "event", "name": "a", "n": 1})
+        sink.emit({"kind": "event", "name": "b", "n": 2})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+
+    def test_truncate_vs_append(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        first = JsonlSink(str(path), truncate=True)
+        first.emit({"name": "old"})
+        first.close()
+        appender = JsonlSink(str(path), truncate=False)
+        appender.emit({"name": "new"})
+        appender.close()
+        assert len(path.read_text().splitlines()) == 2
+        fresh = JsonlSink(str(path), truncate=True)
+        fresh.emit({"name": "only"})
+        fresh.close()
+        assert [json.loads(l)["name"] for l in path.read_text().splitlines()] \
+            == ["only"]
+
+    def test_interleaved_writers_never_corrupt_lines(self, tmp_path):
+        # Two descriptors on the same file (the parent/worker topology):
+        # O_APPEND keeps every line whole regardless of write order.
+        path = tmp_path / "m.jsonl"
+        a = JsonlSink(str(path), truncate=True)
+        b = JsonlSink(str(path), truncate=False)
+        for i in range(50):
+            (a if i % 2 else b).emit({"kind": "event", "name": "x", "i": i})
+        a.close()
+        b.close()
+        parsed = [json.loads(l) for l in path.read_text().splitlines()]
+        assert sorted(p["i"] for p in parsed) == list(range(50))
+
+    def test_close_is_idempotent_and_silences_emit(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(str(path), truncate=True)
+        sink.close()
+        sink.close()
+        sink.emit({"name": "late"})  # silently dropped, no crash
+        assert path.read_text() == ""
