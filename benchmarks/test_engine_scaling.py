@@ -1,9 +1,11 @@
-"""Engine scaling: the three R1–R7 implementations across problem sizes.
+"""Engine scaling: the four R1–R7 implementations across problem sizes.
 
 Complements ``test_ablation_checkers.py`` (one size) with a sweep,
 recording where each engine's cost structure bites: the traversal
 baseline's per-iteration BFS cost, the int-bitset closure's word ops,
-and the numpy matrix engine's per-call overhead vs vectorized ORs.
+the numpy matrix engine's per-call overhead vs vectorized ORs, and the
+incremental vector-clock engine's frontier maintenance (which buys it
+exactly one closure build regardless of iteration count).
 """
 
 import pytest
@@ -11,6 +13,7 @@ import pytest
 from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
 from repro.core.matrix import MatrixChecker
+from repro.core.vc import VectorClockChecker
 from repro.generator.config import GeneratorConfig
 from repro.generator.generator import generate_program
 from repro.model.expansion import expand
@@ -20,6 +23,7 @@ ENGINES = {
     "baseline": BaselineChecker,
     "closure": ClosureChecker,
     "matrix": MatrixChecker,
+    "vc": VectorClockChecker,
 }
 
 #: Total-op sweep; the traversal engine is capped at the smaller sizes
@@ -71,7 +75,7 @@ def test_engine_scaling_series(benchmark, record):
         rows.append(" ".join(cells))
     record(
         "engine_scaling",
-        "Engine scaling (same rules, three implementations)\n"
+        "Engine scaling (same rules, four implementations)\n"
         + "\n".join(rows),
     )
     assert verdicts == {True}

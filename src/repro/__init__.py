@@ -7,10 +7,12 @@ with a polynomial-time, sound-but-incomplete constraint-graph algorithm.
 
 This package provides, end to end:
 
-* the analysis algorithm (rules R1–R7, Fig. 2) in two engines —
-  :class:`~repro.core.checker.BaselineChecker` and the optimized
-  :class:`~repro.core.closure.ClosureChecker` — plus the exponential
-  complete procedure :func:`~repro.core.complete.complete_check`;
+* the analysis algorithm (rules R1–R7, Fig. 2) in four agreeing
+  engines — from the literal
+  :class:`~repro.core.checker.BaselineChecker` to the incremental
+  :class:`~repro.core.vc.VectorClockChecker` default (see
+  ``docs/engines.md``) — plus the exponential complete procedure
+  :func:`~repro.core.complete.complete_check`;
 * the memory models TSO, SC and PSO as pluggable ordering policies;
 * the pseudo-random racy test generator of Sec. 3.1;
 * an operational TSO multiprocessor simulator with store buffers, caches

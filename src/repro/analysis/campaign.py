@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import telemetry
 from repro.analysis.pool import ProgressFn, run_tasks
 from repro.analysis.replay import hunt_trace_meta
-from repro.core.api import check
+from repro.core.api import DEFAULT_ENGINE, check
 from repro.core.policy import TSO, MemoryModel
 from repro.core.result import PoolStats
 from repro.generator.config import GeneratorConfig, InstructionMix
@@ -56,6 +56,9 @@ class CampaignConfig:
             live policy — is what gets pickled to pool workers; each
             attempt instantiates a fresh policy from it, so parallel and
             sequential campaigns stay hunt-for-hunt identical.
+        engine: checker engine used to triage every run (any key of
+            :data:`repro.core.api.ENGINES`); the engines agree on
+            verdicts, so this only changes triage speed.
     """
 
     tests_per_bug: int = 10
@@ -75,6 +78,7 @@ class CampaignConfig:
     model: MemoryModel = TSO
     seed: int = 2004
     sched: SchedSpec = field(default_factory=SchedSpec)
+    engine: str = DEFAULT_ENGINE
 
 
 @dataclass
@@ -226,7 +230,7 @@ def hunt_bug(
             )
             observed = machine.run()
             detected, via = _triage(
-                spec, program, machine, observed, config.model
+                spec, program, machine, observed, config.model, config.engine
             )
             if detected:
                 return BugHunt(
@@ -272,20 +276,25 @@ def _triage(
     machine: TsoMachine,
     observed,
     model: MemoryModel,
+    engine: str = DEFAULT_ENGINE,
 ) -> Tuple[bool, str]:
     """Classify one run's outcome against the hunted bug's class."""
     if spec.bug_class == BugClass.MONITOR:
-        if machine.monitor_alarms and check(program, observed, model=model).ok:
+        if machine.monitor_alarms and check(
+            program, observed, model=model, engine=engine
+        ).ok:
             return True, "spurious monitor alarm on a TSO-clean run"
         return False, ""
     if spec.bug_class == BugClass.ENVIRONMENT:
-        if not check(program, observed, model=model).ok:
-            true_result = check(program, machine.true_execution, model=model)
+        if not check(program, observed, model=model, engine=engine).ok:
+            true_result = check(
+                program, machine.true_execution, model=model, engine=engine
+            )
             if true_result.ok:
                 return True, "observed trace fails analysis, true trace passes"
         return False, ""
     # Architecture / design: the machine itself misbehaved.
-    result = check(program, observed, model=model)
+    result = check(program, observed, model=model, engine=engine)
     if not result.ok:
         return True, f"TSO violation ({result.violation.kind.value})"
     return False, ""

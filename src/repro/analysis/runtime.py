@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.pool import ProgressFn, run_tasks
-from repro.core.api import make_checker
+from repro.core.api import DEFAULT_ENGINE, make_checker
 from repro.core.policy import TSO, MemoryModel
 from repro.core.result import PoolStats
 from repro.generator.config import GeneratorConfig, InstructionMix
@@ -44,6 +44,9 @@ class RuntimePoint:
     edges: int
     iterations: int
     seconds: float
+    #: Closure rebuilds the engine paid (per-pass engines: one per
+    #: iteration; the vc engine: exactly one, its headline property).
+    closure_rebuilds: int = 0
 
     def row(self) -> str:
         """Fixed-width text row for the harness output."""
@@ -51,6 +54,7 @@ class RuntimePoint:
             f"procs={self.nprocs:<3d} words={self.shared_words:<4d} "
             f"ops={self.total_ops:<7d} nodes={self.nodes:<7d} "
             f"edges={self.edges:<8d} iters={self.iterations:<3d} "
+            f"rebuilds={self.closure_rebuilds:<3d} "
             f"time={self.seconds * 1e3:9.2f} ms"
         )
 
@@ -70,7 +74,7 @@ def measure_runtime(
     total_ops: int,
     seed: int = 0,
     model: MemoryModel = TSO,
-    engine: str = "closure",
+    engine: str = DEFAULT_ENGINE,
     repeats: int = 1,
     max_attempts: int = 3,
 ) -> RuntimePoint:
@@ -124,6 +128,7 @@ def measure_runtime(
                 edges=result.stats.edges,
                 iterations=result.stats.iterations,
                 seconds=best,
+                closure_rebuilds=result.stats.closure_rebuilds,
             )
         last_result = result
     assert last_result is not None
@@ -170,7 +175,7 @@ def sweep_runtime(
     word_counts: Sequence[int],
     ops_points: Sequence[int],
     seed: int = 0,
-    engine: str = "closure",
+    engine: str = DEFAULT_ENGINE,
     workers: int = 1,
     task_timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,

@@ -46,7 +46,7 @@ from repro.analysis.report import ReportConfig, build_report
 from repro.analysis.runtime import format_series, sweep_runtime
 from repro.emit.c11 import c11_generator_config, emit_c11
 from repro.emit.sparc import emit_sparc
-from repro.core.api import check, check_execution, check_litmus
+from repro.core.api import DEFAULT_ENGINE, ENGINES, check, check_execution, check_litmus
 from repro.core.htmlreport import render_html
 from repro.core.policy import PSO, SC, TSO
 from repro.generator.config import GeneratorConfig
@@ -311,6 +311,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         tests_per_bug=args.tests_per_bug,
         seed=args.seed,
         sched=SchedSpec(kind=args.sched, pct_depth=args.pct_depth),
+        engine=args.engine,
     )
     kwargs = {}
     if args.cpu:
@@ -434,7 +435,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="analyze a trace file (what-if friendly)")
     p.add_argument("trace", help="trace file from 'run' (optionally edited)")
     p.add_argument("--model", choices=sorted(_MODELS), default="TSO")
-    p.add_argument("--engine", choices=["closure", "baseline", "matrix"], default="closure")
+    p.add_argument("--engine", choices=sorted(ENGINES),
+                   default=DEFAULT_ENGINE)
     p.add_argument("--dot", help="write the violation region as Graphviz DOT")
     p.add_argument("--graph", help="write the full analysis graph as text")
     p.add_argument("--html", help="write a clickable HTML debug report")
@@ -504,6 +506,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record-schedule", metavar="DIR",
                    help="persist every detected hunt's ScheduleTrace as "
                         "DIR/<bug>.schedule.json")
+    p.add_argument("--engine", choices=sorted(ENGINES),
+                   default=DEFAULT_ENGINE,
+                   help="checker engine for hunt triage")
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -519,7 +524,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops-points", type=int, nargs="+",
                    default=[400, 800, 1600, 3200])
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--engine", choices=["closure", "baseline", "matrix"], default="closure")
+    p.add_argument("--engine", choices=sorted(ENGINES),
+                   default=DEFAULT_ENGINE)
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the sweep points (default: 1); "
                         "parallel points contend for cores, so keep 1 when "

@@ -10,8 +10,11 @@ Public surface:
   with per-edge reasons, DOT export,
 * :class:`repro.core.checker.BaselineChecker` — the literal Fig. 2
   algorithm,
-* :class:`repro.core.closure.ClosureChecker` — the optimized engine
-  (incremental transitive closure),
+* :class:`repro.core.closure.ClosureChecker` /
+  :class:`repro.core.matrix.MatrixChecker` /
+  :class:`repro.core.vc.VectorClockChecker` — the optimized engines
+  (bitset closure, numpy matrices, and the default incremental
+  vector-clock frontiers; see ``docs/engines.md``),
 * :func:`repro.core.complete.complete_check` — the exponential complete
   decision procedure (enforces the Order axiom; small programs only).
 """
@@ -22,6 +25,7 @@ from repro.core.result import CheckResult, Violation, ViolationKind, EdgeReason
 from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
 from repro.core.matrix import MatrixChecker
+from repro.core.vc import VectorClockChecker
 from repro.core.complete import complete_check, CompleteResult
 from repro.core.axioms import verify_witness
 from repro.core.htmlreport import render_html
@@ -43,6 +47,7 @@ __all__ = [
     "BaselineChecker",
     "ClosureChecker",
     "MatrixChecker",
+    "VectorClockChecker",
     "complete_check",
     "CompleteResult",
     "verify_witness",

@@ -32,6 +32,7 @@ from repro.core.closure import ClosureChecker
 from repro.core.matrix import MatrixChecker
 from repro.core.policy import MemoryModel, TSO
 from repro.core.result import CheckResult
+from repro.core.vc import VectorClockChecker
 from repro.model.expansion import AnalysisProgram, expand
 from repro.model.program import Program, parse_litmus
 from repro.model.trace import Execution
@@ -41,10 +42,15 @@ ENGINES = {
     "baseline": BaselineChecker,
     "closure": ClosureChecker,
     "matrix": MatrixChecker,
+    "vc": VectorClockChecker,
 }
 
+#: The production default: the incremental vector-clock engine (see
+#: ``docs/engines.md`` for the four engines and when to pick each).
+DEFAULT_ENGINE = "vc"
 
-def make_checker(model: MemoryModel = TSO, engine: str = "closure"):
+
+def make_checker(model: MemoryModel = TSO, engine: str = DEFAULT_ENGINE):
     """Instantiate a checker engine by name (see :data:`ENGINES`)."""
     try:
         cls = ENGINES[engine]
@@ -58,7 +64,7 @@ def check_execution(
     initial: Optional[Dict[int, int]] = None,
     word_names: Optional[Dict[int, str]] = None,
     model: MemoryModel = TSO,
-    engine: str = "closure",
+    engine: str = DEFAULT_ENGINE,
 ) -> CheckResult:
     """Check a raw execution trace against a memory model.
 
@@ -77,7 +83,7 @@ def check(
     program: Program,
     execution: Execution,
     model: MemoryModel = TSO,
-    engine: str = "closure",
+    engine: str = DEFAULT_ENGINE,
 ) -> CheckResult:
     """Check a program's observed execution against a memory model."""
     return check_execution(
@@ -90,7 +96,7 @@ def check(
 
 
 def check_litmus(
-    text: str, model: MemoryModel = TSO, engine: str = "closure"
+    text: str, model: MemoryModel = TSO, engine: str = DEFAULT_ENGINE
 ) -> CheckResult:
     """Parse the paper's litmus notation and check the described outcome."""
     program, execution = parse_litmus(text)

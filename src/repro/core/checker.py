@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro import telemetry
 from repro.core.graph import ConstraintGraph, CycleDetected
 from repro.core.policy import MemoryModel, TSO, static_edges
+from repro.core.prep import prepare
 from repro.core.result import (
     CheckResult,
     CheckStats,
@@ -155,10 +156,16 @@ class BaselineChecker:
     def _fixed_point(
         self, aprog: AnalysisProgram, graph: ConstraintGraph, stats: CheckStats
     ) -> Optional[Violation]:
-        """Iterate R6/R7 until no edges are added; cycle-check each pass."""
-        readers = aprog.readers()
-        loads = [op.id for op in aprog.ops if op.is_load]
-        stores = [op.id for op in aprog.ops if op.is_store]
+        """Iterate R6/R7 until no edges are added; cycle-check each pass.
+
+        The R6/R7 work lists come from :func:`repro.core.prep.prepare`,
+        computed once: loads arrive with their observed store already
+        resolved (loads whose value maps to no store — a recorded
+        precheck failure — are excluded up front rather than re-resolved
+        and re-skipped every pass), and stores nobody observed never
+        enter the R7 loop at all.
+        """
+        prep = prepare(aprog)
 
         # Cycle may already exist from static + observed edges.
         violation = self._cycle_violation(aprog, graph)
@@ -169,10 +176,12 @@ class BaselineChecker:
         while changed:
             changed = False
             stats.iterations += 1
-            for load in loads:
-                changed |= self._apply_r6(aprog, graph, stats, load)
-            for store in stores:
-                changed |= self._apply_r7(aprog, graph, stats, store, readers)
+            for load, addr, target, _target_first in prep.loads:
+                changed |= self._apply_r6(aprog, graph, stats, load, addr, target)
+            for store, addr, observers in prep.stores:
+                changed |= self._apply_r7(
+                    aprog, graph, stats, store, addr, observers
+                )
             violation = self._cycle_violation(aprog, graph)
             if violation is not None:
                 return violation
@@ -180,20 +189,16 @@ class BaselineChecker:
 
     def _apply_r6(
         self, aprog: AnalysisProgram, graph: ConstraintGraph,
-        stats: CheckStats, load: int,
+        stats: CheckStats, load: int, addr: int, target: int,
     ) -> bool:
         """R6: every same-address store predecessor of L precedes map(L)."""
-        op = aprog.ops[load]
-        target = aprog.map_value(op.addr, op.value)
-        if target is None:
-            return False
         changed = False
-        visited = self._reachable(graph, load, op.addr, forward=False)
+        visited = self._reachable(graph, load, addr, forward=False)
         stats.traversals += 1
         stats.traversal_visits += len(visited)
         for s_prime in visited:
             node = aprog.ops[s_prime]
-            if not node.is_store or node.addr != op.addr or s_prime == target:
+            if not node.is_store or node.addr != addr or s_prime == target:
                 continue
             reason = EdgeReason(
                 "R6",
@@ -209,22 +214,19 @@ class BaselineChecker:
 
     def _apply_r7(
         self, aprog: AnalysisProgram, graph: ConstraintGraph,
-        stats: CheckStats, store: int, readers: Dict[int, List[int]],
+        stats: CheckStats, store: int, addr: int,
+        observers: List[Tuple[int, int]],
     ) -> bool:
         """R7: loads of S precede every same-address store successor of S."""
-        observers = readers.get(store)
-        if not observers:
-            return False
-        op = aprog.ops[store]
         changed = False
-        visited = self._reachable(graph, store, op.addr, forward=True)
+        visited = self._reachable(graph, store, addr, forward=True)
         stats.traversals += 1
         stats.traversal_visits += len(visited)
         for s_prime in visited:
             node = aprog.ops[s_prime]
-            if not node.is_store or node.addr != op.addr or s_prime == store:
+            if not node.is_store or node.addr != addr or s_prime == store:
                 continue
-            for load in observers:
+            for load, _load_last in observers:
                 reason = EdgeReason(
                     "R7",
                     f"{aprog.describe(load)} observed {aprog.describe(store)} "

@@ -18,11 +18,14 @@ vectors.  This buys three things:
   closure is skipped in O(1), so each pass only pays for edges that add
   information.
 
-Rebuilding the closure per pass — O(E·n/w) — is far cheaper at laptop
-scale than maintaining it incrementally per edge (O(n²/w) each), and the
-number of passes is small in practice (the paper's fixed-point
-iterations).  ``benchmarks/test_ablation_checkers.py`` measures this
-engine against the literal Fig. 2 baseline.
+Rebuilding the closure per pass — O(E·n/w) — is far cheaper at small
+scale than maintaining full bitsets incrementally per edge (O(n²/w)
+each), and the number of passes is small in practice (the paper's
+fixed-point iterations).  At the paper's operating point the rebuilds
+dominate, which is what :class:`repro.core.vc.VectorClockChecker`
+removes with incremental per-chain frontiers; see ``docs/engines.md``.
+``benchmarks/test_ablation_checkers.py`` measures this engine against
+the literal Fig. 2 baseline.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro import telemetry
 from repro.core.checker import observed_edges, precheck_violation
 from repro.core.graph import ConstraintGraph, CycleDetected
 from repro.core.policy import MemoryModel, TSO, static_edges
+from repro.core.prep import iter_bits, prepare
 from repro.core.result import (
     CheckResult,
     CheckStats,
@@ -42,14 +46,6 @@ from repro.core.result import (
     ViolationKind,
 )
 from repro.model.expansion import AnalysisProgram
-
-
-def iter_bits(mask: int):
-    """Yield the set bit positions of ``mask`` in increasing order."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
 
 
 def topological_order(graph: ConstraintGraph) -> Optional[List[int]]:
@@ -172,29 +168,13 @@ class ClosureChecker:
             addr: sum(1 << s for s in stores)
             for addr, stores in aprog.stores_by_addr.items()
         }
-        readers = aprog.readers()
-        # Precompute atomic-group endpoints: pruning below must match the
-        # *redirected* edge (incoming edges land on a group's first node,
-        # outgoing leave from its last), or it would skip edges that still
-        # add information.
-        loads = []
-        for op in aprog.ops:
-            if not op.is_load:
-                continue
-            target = aprog.map_value(op.addr, op.value)
-            if target is None:
-                continue  # unreachable: precheck rejects unmapped loads
-            loads.append((op.id, op.addr, target, aprog.group_first(target)))
-        stores = [
-            (
-                op.id,
-                op.addr,
-                [(ld, aprog.group_last(ld)) for ld in readers[op.id]],
-            )
-            for op in aprog.ops
-            if op.is_store and op.id in readers
-        ]
-        group_first = [aprog.group_first(i) for i in range(aprog.n)]
+        # Shared work lists (repro.core.prep): the atomic-group endpoints
+        # they carry matter — pruning below must match the *redirected*
+        # edge (incoming edges land on a group's first node, outgoing
+        # leave from its last), or it would skip edges that still add
+        # information.
+        prep = prepare(aprog)
+        loads, stores, group_first = prep.loads, prep.stores, prep.group_first
 
         # Phase 2: R6/R7 fixed point; rebuild the closure once per pass.
         while True:

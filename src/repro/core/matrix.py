@@ -6,7 +6,8 @@ as a dense ``(n, ceil(n/64))`` uint64 matrix — row ``v`` of ``reach_from``
 is the descendant set of ``v`` packed 64 nodes per word — and closure
 rebuilds vectorize the per-node OR over numpy words.
 
-Why keep three engines?  They answer different questions:
+Why keep several engines?  They answer different questions
+(``docs/engines.md`` has the full comparison):
 
 * the baseline is the literal paper algorithm (and measures traversal
   behaviour, Fig. 9);
@@ -33,6 +34,7 @@ from repro.core.checker import observed_edges, precheck_violation
 from repro.core.closure import topological_order
 from repro.core.graph import ConstraintGraph, CycleDetected
 from repro.core.policy import MemoryModel, TSO, static_edges
+from repro.core.prep import iter_packed_bits, prepare
 from repro.core.result import (
     CheckResult,
     CheckStats,
@@ -57,15 +59,7 @@ def _set_bit(matrix: np.ndarray, row: int, col: int) -> None:
 
 def _row_members(matrix: np.ndarray, row: int, n: int) -> List[int]:
     """Indices of set bits in a packed row."""
-    out: List[int] = []
-    for word_index in np.flatnonzero(matrix[row]):
-        word = int(matrix[row, word_index])
-        base = int(word_index) << 6
-        while word:
-            low = word & -word
-            out.append(base + low.bit_length() - 1)
-            word ^= low
-    return out
+    return iter_packed_bits(matrix[row])
 
 
 class MatrixChecker:
@@ -118,29 +112,15 @@ class MatrixChecker:
         except CycleDetected as exc:
             return self._violation(aprog, graph, exc)
 
-        stores_at = np.zeros((0,), dtype=np.uint64)
         stores_rows: Dict[int, np.ndarray] = {}
-        for addr, stores in aprog.stores_by_addr.items():
+        for addr, addr_stores in aprog.stores_by_addr.items():
             row = np.zeros(nwords, dtype=np.uint64)
-            for store in stores:
+            for store in addr_stores:
                 row[store >> 6] |= np.uint64(1 << (store & 63))
             stores_rows[addr] = row
 
-        readers = aprog.readers()
-        loads = []
-        for op in aprog.ops:
-            if not op.is_load:
-                continue
-            target = aprog.map_value(op.addr, op.value)
-            if target is None:
-                continue  # unreachable: precheck rejects unmapped loads
-            loads.append((op.id, op.addr, target, aprog.group_first(target)))
-        stores = [
-            (op.id, op.addr, [(ld, aprog.group_last(ld)) for ld in readers[op.id]])
-            for op in aprog.ops
-            if op.is_store and op.id in readers
-        ]
-        group_first = [aprog.group_first(i) for i in range(n)]
+        prep = prepare(aprog)
+        loads, stores, group_first = prep.loads, prep.stores, prep.group_first
 
         while True:
             order = topological_order(graph)
@@ -205,15 +185,7 @@ class MatrixChecker:
 
     @staticmethod
     def _members(mask: np.ndarray) -> List[int]:
-        out: List[int] = []
-        for word_index in np.flatnonzero(mask):
-            word = int(mask[word_index])
-            base = int(word_index) << 6
-            while word:
-                low = word & -word
-                out.append(base + low.bit_length() - 1)
-                word ^= low
-        return out
+        return iter_packed_bits(mask)
 
     # ------------------------------------------------------------------
 

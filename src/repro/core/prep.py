@@ -1,0 +1,105 @@
+"""Shared per-engine setup for the R1–R7 checker engines.
+
+Every engine needs the same derived views of an
+:class:`~repro.model.expansion.AnalysisProgram` before its fixed point
+starts: the loads with their observed-store targets resolved (and the
+atomic-group endpoints the closure pruning must respect), the stores
+with their observer loads, and the per-node ``group_first`` table.
+Historically each engine rebuilt these independently — the baseline
+even re-resolved ``map_value`` every fixed-point pass — and the set-bit
+iteration helpers were duplicated between the int-bitset and numpy
+engines.  This module is the single home for all of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.model.expansion import AnalysisProgram
+
+#: One R6 work item: (load id, word address, observed store,
+#: group-first node of the observed store — where redirected incoming
+#: edges actually land).
+LoadItem = Tuple[int, int, int, int]
+
+#: One R7 work item: (store id, word address, observer loads as
+#: (load id, group-last node of the load — where redirected outgoing
+#: edges actually leave from) pairs).
+StoreItem = Tuple[int, int, List[Tuple[int, int]]]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def iter_packed_bits(row) -> List[int]:
+    """Set-bit indices of a packed uint64 word sequence (numpy row).
+
+    Word ``i`` holds bits ``[64*i, 64*i+64)``; only nonzero words are
+    expanded, so sparse rows stay cheap.
+    """
+    import numpy as np
+
+    out: List[int] = []
+    for word_index in np.flatnonzero(row):
+        word = int(row[word_index])
+        base = int(word_index) << 6
+        while word:
+            low = word & -word
+            out.append(base + low.bit_length() - 1)
+            word ^= low
+    return out
+
+
+@dataclass
+class EnginePrep:
+    """The shared pre-computed views every checker engine consumes.
+
+    Attributes:
+        readers: store op id → loads that observed its value.
+        loads: R6 work list (see :data:`LoadItem`); loads whose value
+            maps to no store are excluded — the precheck has already
+            recorded those as failures, so no engine needs to re-resolve
+            ``map_value`` per pass.
+        stores: R7 work list (see :data:`StoreItem`); stores nobody
+            observed are excluded.
+        group_first: per-node atomic-group first member (the node
+            itself when ungrouped) — incoming redirected edges land
+            there.
+    """
+
+    readers: Dict[int, List[int]]
+    loads: List[LoadItem]
+    stores: List[StoreItem]
+    group_first: List[int]
+
+
+def prepare(aprog: AnalysisProgram) -> EnginePrep:
+    """Build the shared engine setup for one analysis program."""
+    readers = aprog.readers()
+    loads: List[LoadItem] = []
+    for op in aprog.ops:
+        if not op.is_load:
+            continue
+        target = aprog.map_value(op.addr, op.value)
+        if target is None:
+            continue  # precheck failure already recorded
+        loads.append((op.id, op.addr, target, aprog.group_first(target)))
+    stores: List[StoreItem] = [
+        (
+            op.id,
+            op.addr,
+            [(ld, aprog.group_last(ld)) for ld in readers[op.id]],
+        )
+        for op in aprog.ops
+        if op.is_store and op.id in readers
+    ]
+    group_first = [aprog.group_first(i) for i in range(aprog.n)]
+    return EnginePrep(
+        readers=readers, loads=loads, stores=stores, group_first=group_first
+    )

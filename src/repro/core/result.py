@@ -187,8 +187,9 @@ class CheckStats:
     """Bookkeeping about one analysis run (feeds the Fig. 8/9 harness).
 
     Every engine fills the shared fields; ``traversals``/
-    ``traversal_visits`` are traversal-engine specific and
-    ``closure_rebuilds`` closure/matrix-engine specific.  The per-run
+    ``traversal_visits`` are traversal-engine specific,
+    ``closure_rebuilds`` closure/matrix/vc-engine specific, and
+    ``vc_queries``/``reorder_visits`` vc-engine specific.  The per-run
     stats also feed :func:`repro.telemetry.record_check`, which folds
     them into the process-wide ``check.*`` counters.
     """
@@ -205,9 +206,19 @@ class CheckStats:
     #: during the traversal of predecessor/successor subgraphs").
     traversals: int = 0
     traversal_visits: int = 0
-    #: Closure/matrix engines only: how many times the transitive closure
-    #: was recomputed (once per fixed-point pass plus the initial build).
+    #: Closure/matrix/vc engines only: how many times the transitive
+    #: closure was recomputed from scratch.  The per-pass engines pay
+    #: one rebuild per fixed-point iteration; the incremental vc engine
+    #: builds it exactly once and propagates deltas afterwards.
     closure_rebuilds: int = 0
+    #: Vc engine only: frontier-vector lookups — the O(k) interval
+    #: probes behind R6/R7 candidate discovery plus the O(1)
+    #: reachability queries behind implied-edge suppression.
+    vc_queries: int = 0
+    #: Vc engine only: nodes visited by Pearce–Kelly local reordering —
+    #: the affected-region cost of keeping the topological order (and
+    #: with it cycle detection) current across edge insertions.
+    reorder_visits: int = 0
 
     @property
     def edges(self) -> int:
@@ -226,6 +237,8 @@ class CheckStats:
             "traversals": self.traversals,
             "traversal_visits": self.traversal_visits,
             "closure_rebuilds": self.closure_rebuilds,
+            "vc_queries": self.vc_queries,
+            "reorder_visits": self.reorder_visits,
         }
 
 
@@ -238,7 +251,8 @@ class CheckResult:
             but incomplete (Sec. 4): ``ok=False`` proves a violation;
             ``ok=True`` does not prove compliance.
         model_name: the memory model the execution was checked against.
-        engine: the checker engine used (``baseline`` or ``closure``).
+        engine: the checker engine used (``baseline``, ``closure``,
+            ``matrix`` or ``vc``).
         violation: the witness, when ``ok`` is False.
         stats: analysis-size and runtime bookkeeping.
         aprog: the analysis program, retained for rendering.

@@ -1,0 +1,529 @@
+"""The incremental checker engine: vector-clock frontiers + online
+topological order.
+
+Fourth implementation of the Fig. 2 rules (R1–R7), built on the
+observation of Roy et al., *Fast and Generalized Polynomial Time Memory
+Consistency Verification* (the Intel follow-up to TSOtool): program
+order totally orders large slices of the analysis graph, so "the set of
+nodes that reaches v" does not need an n-bit set — it is captured
+exactly by a short *frontier vector* with one entry per totally ordered
+**chain** of nodes.
+
+Chains are carved out of the static program-order edges the memory
+model guarantees (see :class:`_Chains`): under TSO each processor
+contributes one load(+membar) chain and one store chain, each synthetic
+root store is its own singleton chain, so ``k ≈ 2·procs + addrs`` —
+two orders of magnitude below the node count at the paper's operating
+point.  Because every chain is a path in the constraint graph, "chain
+``c``'s members that reach ``v``" is always a *prefix* of ``c``; the
+frontier entry stores just the prefix length.  This buys the three
+things the per-pass engines pay for repeatedly:
+
+* **R6/R7 candidate discovery is O(k).**  "Same-address store
+  predecessors of L not already ordered before the observed store" is,
+  per chain, one half-open interval of positions — two binary searches
+  in the chain's per-address store index, no bitset scan over n nodes.
+* **Cycle detection is incremental.**  A topological order of the graph
+  is maintained *online* across edge insertions with Pearce–Kelly local
+  reordering: only the affected region — nodes whose order indices sit
+  between the new edge's endpoints — is visited, instead of a full
+  Kahn pass per fixed-point iteration.  An inserted edge whose forward
+  search finds its own source *is* the violation.
+* **Closure updates are deltas.**  Inserting ``u -> v`` pushes
+  ``u``'s frontier entries through ``v``'s descendants (and ``v``'s
+  backward frontier through ``u``'s ancestors), stopping wherever
+  nothing improves.  The full closure is built exactly once, from the
+  initial static + observed edges — ``closure_rebuilds`` stays at 1
+  regardless of how many fixed-point passes run, where the per-pass
+  engines pay an O(E·n/w) rebuild each iteration.
+
+Atomic-group redirection and the R5 ``S';L`` subtlety are inherited
+bit-for-bit: edges are stored in the same :class:`ConstraintGraph`
+(which performs the paper's redirection), and the R4/R5 edge stream is
+the shared :func:`repro.core.checker.observed_edges`.  Verdict
+agreement with the other three engines is enforced by
+``tests/test_properties.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.core.checker import observed_edges, precheck_violation
+from repro.core.closure import topological_order
+from repro.core.graph import ConstraintGraph, CycleDetected
+from repro.core.policy import MemoryModel, TSO, static_edges
+from repro.core.prep import EnginePrep, prepare
+from repro.core.result import (
+    CheckResult,
+    CheckStats,
+    EdgeReason,
+    Violation,
+    ViolationKind,
+)
+from repro.model.expansion import AnalysisProgram, OpKind
+
+
+class _Chains:
+    """A chain decomposition of the analysis nodes, derived from the
+    memory model's static guarantees.
+
+    Every node belongs to exactly one chain, and consecutive members of
+    a chain are always ordered by the static edges (directly, or through
+    their atomic group's internal ``atomic`` chain after redirection).
+    That path property is what makes a frontier entry exact: if chain
+    member ``c[i]`` reaches ``v``, so does every ``c[j]`` with
+    ``j < i``.
+
+    The decomposition, per processor:
+
+    * loads and membars in program order (``load_load`` models — all
+      shipped ones; otherwise membars chain alone and loads are
+      singletons);
+    * stores in program order when the model keeps ``store_store``
+      (TSO/SC; under SC the load and store chains merge into one full
+      program-order chain);
+    * stores per address when only ``same_addr_store_store`` survives
+      (PSO per-location coherence);
+    * singleton chains otherwise.
+
+    Each synthetic root store is its own singleton chain (roots are
+    mutually unordered).
+    """
+
+    def __init__(self, aprog: AnalysisProgram, model: MemoryModel) -> None:
+        n = aprog.n
+        self.nodes: List[List[int]] = []
+        self.chain_of = [0] * n
+        self.pos_of = [0] * n
+        for addr in sorted(aprog.roots):
+            self._new_chain([aprog.roots[addr]])
+        full_po = (
+            model.load_load and model.load_store
+            and model.store_store and model.store_load
+        )
+        for stream in aprog.per_proc:
+            if full_po:
+                self._new_chain(list(stream))
+                continue
+            ops = aprog.ops
+            if model.load_load:
+                self._new_chain([
+                    op_id for op_id in stream
+                    if ops[op_id].kind != OpKind.STORE
+                ])
+            else:
+                self._new_chain([
+                    op_id for op_id in stream
+                    if ops[op_id].kind == OpKind.MEMBAR
+                ])
+                for op_id in stream:
+                    if ops[op_id].kind == OpKind.LOAD:
+                        self._new_chain([op_id])
+            stores = [op_id for op_id in stream if ops[op_id].is_store]
+            if model.store_store:
+                self._new_chain(stores)
+            elif model.same_addr_store_store:
+                by_addr: Dict[int, List[int]] = {}
+                for store in stores:
+                    by_addr.setdefault(ops[store].addr, []).append(store)
+                for addr in sorted(by_addr):
+                    self._new_chain(by_addr[addr])
+            else:
+                for store in stores:
+                    self._new_chain([store])
+        self.k = len(self.nodes)
+        # Per-address store index: addr -> [(chain, sorted positions)],
+        # the slices every R6/R7 interval query searches.
+        self.addr_stores: Dict[int, List[Tuple[int, List[int]]]] = {}
+        per_chain: Dict[Tuple[int, int], List[int]] = {}
+        for op in aprog.ops:
+            if op.is_store:
+                key = (op.addr, self.chain_of[op.id])
+                per_chain.setdefault(key, []).append(self.pos_of[op.id])
+        for (addr, chain), positions in per_chain.items():
+            positions.sort()
+            self.addr_stores.setdefault(addr, []).append((chain, positions))
+
+    def _new_chain(self, members: List[int]) -> None:
+        if not members:
+            return
+        chain = len(self.nodes)
+        self.nodes.append(members)
+        for pos, node in enumerate(members):
+            self.chain_of[node] = chain
+            self.pos_of[node] = pos
+
+
+class VectorClockChecker:
+    """Fig. 2 with incremental frontier vectors and online topo order."""
+
+    name = "vc"
+
+    def __init__(self, model: MemoryModel = TSO, inferred_rules: bool = True) -> None:
+        """Args:
+            model: memory-model ordering policy.
+            inferred_rules: apply the R6/R7 fixed point (disabling them
+                is the DESIGN.md rule ablation, as on the closure
+                engine).
+        """
+        self.model = model
+        self.inferred_rules = inferred_rules
+
+    def run(self, aprog: AnalysisProgram) -> CheckResult:
+        """Check one analysis program; return the verdict with a witness."""
+        start = time.perf_counter()
+        stats = CheckStats(nodes=aprog.n)
+
+        self._graph: Optional[ConstraintGraph] = None
+        violation = precheck_violation(aprog)
+        if violation is None:
+            violation = self._analyze(aprog, stats)
+
+        stats.seconds = time.perf_counter() - start
+        telemetry.record_check(stats, self.name)
+        return CheckResult(
+            ok=violation is None,
+            model_name=self.model.name,
+            engine=self.name,
+            violation=violation,
+            stats=stats,
+            aprog=aprog,
+            graph=self._graph,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: bulk edges, chain decomposition, one closure build
+    # ------------------------------------------------------------------
+
+    def _analyze(
+        self, aprog: AnalysisProgram, stats: CheckStats
+    ) -> Optional[Violation]:
+        graph = ConstraintGraph(aprog)
+        self._graph = graph
+        self._stats = stats
+
+        try:
+            for u, v, rule in static_edges(aprog, self.model):
+                if graph.add_edge(u, v, EdgeReason(rule, "program order")):
+                    stats.static_edges += 1
+            for u, v, reason, _rule in observed_edges(aprog):
+                if graph.add_edge(u, v, reason):
+                    stats.observed_edges += 1
+        except CycleDetected as exc:
+            return self._violation(aprog, graph, exc)
+
+        order = topological_order(graph)
+        if order is None:
+            return self._found_cycle(aprog, graph)
+        if not self.inferred_rules:
+            return None
+
+        self._chains = _Chains(aprog, self.model)
+        self._init_state(graph, order)
+        stats.closure_rebuilds += 1
+        prep = prepare(aprog)
+        try:
+            return self._fixed_point(aprog, graph, stats, prep)
+        except CycleDetected as exc:
+            return self._violation(aprog, graph, exc)
+
+    def _init_state(self, graph: ConstraintGraph, order: List[int]) -> None:
+        """Build frontiers and the topological order in one DP pass.
+
+        ``vec_to[v][c]`` is the highest position in chain ``c`` whose
+        member reaches ``v`` (-1: none), ``vec_from[v][c]`` the lowest
+        position reachable from ``v`` (``inf_pos``: none); both include
+        ``v`` itself, mirroring the closure engine's reach bitsets.
+        """
+        n = graph.n
+        k = self._chains.k
+        chain_of = self._chains.chain_of
+        pos_of = self._chains.pos_of
+        self._inf = inf = n + 1
+        self._ord = [0] * n
+        for index, node in enumerate(order):
+            self._ord[node] = index
+        vec_to: List[List[int]] = [None] * n  # type: ignore[list-item]
+        for node in order:
+            rows = [vec_to[parent] for parent in graph.pred[node]]
+            if not rows:
+                vec = [-1] * k
+            elif len(rows) == 1:
+                vec = list(rows[0])
+            else:
+                vec = list(map(max, *rows))
+            chain, pos = chain_of[node], pos_of[node]
+            if pos > vec[chain]:
+                vec[chain] = pos
+            vec_to[node] = vec
+        vec_from: List[List[int]] = [None] * n  # type: ignore[list-item]
+        for node in reversed(order):
+            rows = [vec_from[child] for child in graph.succ[node]]
+            if not rows:
+                vec = [inf] * k
+            elif len(rows) == 1:
+                vec = list(rows[0])
+            else:
+                vec = list(map(min, *rows))
+            chain, pos = chain_of[node], pos_of[node]
+            if pos < vec[chain]:
+                vec[chain] = pos
+            vec_from[node] = vec
+        self._vec_to = vec_to
+        self._vec_from = vec_from
+
+    # ------------------------------------------------------------------
+    # Phase 2: the R6/R7 fixed point over live frontiers
+    # ------------------------------------------------------------------
+
+    def _fixed_point(
+        self,
+        aprog: AnalysisProgram,
+        graph: ConstraintGraph,
+        stats: CheckStats,
+        prep: EnginePrep,
+    ) -> Optional[Violation]:
+        group_first = prep.group_first
+        # The observer-suppression test (``_reaches``) runs for every
+        # (R7 candidate, observer) pair — millions of times at paper
+        # scale — so it is inlined here over hoisted locals, with the
+        # query count accumulated in bulk.
+        chain_of = self._chains.chain_of
+        pos_of = self._chains.pos_of
+        vec_from = self._vec_from
+        add_edge = self._add_edge
+        while True:
+            stats.iterations += 1
+            added = 0
+            for load, addr, target, target_first in prep.loads:
+                for s_prime in self._r6_candidates(addr, load, target,
+                                                  target_first):
+                    reason = EdgeReason(
+                        "R6",
+                        f"store n{s_prime} precedes load n{load}, which "
+                        f"observed store n{target} (Value axiom)",
+                    )
+                    if add_edge(s_prime, target, reason):
+                        added += 1
+            queries = 0
+            for store, addr, observers in prep.stores:
+                for s_prime in self._r7_candidates(addr, store):
+                    s_prime_first = group_first[s_prime]
+                    sp_chain = chain_of[s_prime_first]
+                    sp_pos = pos_of[s_prime_first]
+                    queries += len(observers)
+                    for load, load_last in observers:
+                        if vec_from[load_last][sp_chain] <= sp_pos:
+                            continue  # redirected edge already implied
+                        reason = EdgeReason(
+                            "R7",
+                            f"load n{load} observed store n{store}, which "
+                            f"precedes store n{s_prime} (Value axiom)",
+                        )
+                        if add_edge(load, s_prime, reason):
+                            added += 1
+            stats.vc_queries += queries
+            if not added:
+                return None
+            stats.inferred_edges += added
+
+    def _r6_candidates(
+        self, addr: int, load: int, target: int, target_first: int
+    ) -> List[int]:
+        """Same-address store predecessors of ``load`` not already
+        ordered before the observed store's group entry point."""
+        out: List[int] = []
+        chains = self._chains
+        vt_load = self._vec_to[load]
+        vt_target = self._vec_to[target_first]
+        queries = 0
+        for chain, positions in chains.addr_stores.get(addr, ()):
+            queries += 1
+            lo = vt_target[chain]
+            hi = vt_load[chain]
+            if hi <= lo:
+                continue
+            members = chains.nodes[chain]
+            for pos in positions[bisect_right(positions, lo):
+                                 bisect_right(positions, hi)]:
+                node = members[pos]
+                if node != target:
+                    out.append(node)
+        self._stats.vc_queries += queries
+        return out
+
+    def _r7_candidates(self, addr: int, store: int) -> List[int]:
+        """Same-address store successors of ``store`` (excluding it)."""
+        out: List[int] = []
+        chains = self._chains
+        vf = self._vec_from[store]
+        inf = self._inf
+        queries = 0
+        for chain, positions in chains.addr_stores.get(addr, ()):
+            queries += 1
+            lo = vf[chain]
+            if lo >= inf:
+                continue
+            members = chains.nodes[chain]
+            for pos in positions[bisect_left(positions, lo):]:
+                node = members[pos]
+                if node != store:
+                    out.append(node)
+        self._stats.vc_queries += queries
+        return out
+
+    def _reaches(self, src: int, dst: int) -> bool:
+        """O(1) frontier query: is ``dst`` reachable from ``src``?"""
+        self._stats.vc_queries += 1
+        chains = self._chains
+        return self._vec_from[src][chains.chain_of[dst]] <= chains.pos_of[dst]
+
+    # ------------------------------------------------------------------
+    # Incremental edge insertion
+    # ------------------------------------------------------------------
+
+    def _add_edge(self, u: int, v: int, reason: EdgeReason) -> bool:
+        """Insert ``u -> v``; keep order + frontiers current.
+
+        Raises:
+            CycleDetected: the redirected edge closes a cycle (found by
+                the Pearce–Kelly forward search, or as a self-loop).
+        """
+        graph = self._graph
+        u, v = graph.redirect(u, v)
+        if u == v:
+            raise CycleDetected(u, v)
+        if graph.has_edge(u, v):
+            return False
+        self._reorder(u, v, reason)
+        graph.add_edge(u, v, reason)
+        self._push_forward(u, v)
+        self._push_backward(u, v)
+        return True
+
+    def _reorder(self, u: int, v: int, reason: EdgeReason) -> None:
+        """Pearce–Kelly local reordering for the insertion of ``u -> v``.
+
+        When ``u`` already precedes ``v`` in the maintained order the
+        edge is order-compatible and nothing is visited.  Otherwise the
+        affected region — forward from ``v`` up to ``u``'s index,
+        backward from ``u`` down to ``v``'s index — is discovered and
+        its order indices are redealt, ancestors first.  The forward
+        search reaching ``u`` is a cycle: the edge is recorded (so the
+        witness can explain it) and :class:`CycleDetected` is raised.
+        """
+        ord_ = self._ord
+        upper = ord_[u]
+        if upper < ord_[v]:
+            return
+        graph = self._graph
+        succ, pred = graph.succ, graph.pred
+        lower = ord_[v]
+        forward = {v}
+        stack = [v]
+        while stack:
+            node = stack.pop()
+            for child in succ[node]:
+                if child == u:
+                    # Path v ~> u exists: u -> v closes a cycle.  Record
+                    # the edge so cycle_reasons can name its rule.
+                    graph.add_edge(u, v, reason)
+                    raise CycleDetected(u, v)
+                if child not in forward and ord_[child] <= upper:
+                    forward.add(child)
+                    stack.append(child)
+        backward = {u}
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            for parent in pred[node]:
+                if parent not in backward and ord_[parent] >= lower:
+                    backward.add(parent)
+                    stack.append(parent)
+        self._stats.reorder_visits += len(forward) + len(backward)
+        affected = sorted(backward, key=ord_.__getitem__)
+        affected += sorted(forward, key=ord_.__getitem__)
+        slots = sorted(ord_[node] for node in affected)
+        for node, slot in zip(affected, slots):
+            ord_[node] = slot
+
+    def _push_forward(self, u: int, v: int) -> None:
+        """Propagate ``u``'s backward frontier into ``v``'s descendants."""
+        vec_to = self._vec_to
+        succ = self._graph.succ
+        entries = [
+            (chain, pos) for chain, pos in enumerate(vec_to[u]) if pos >= 0
+        ]
+        stack = [(v, entries)]
+        while stack:
+            node, candidate = stack.pop()
+            vec = vec_to[node]
+            improved = [
+                (chain, pos) for chain, pos in candidate if pos > vec[chain]
+            ]
+            if not improved:
+                continue
+            for chain, pos in improved:
+                vec[chain] = pos
+            for child in succ[node]:
+                stack.append((child, improved))
+
+    def _push_backward(self, u: int, v: int) -> None:
+        """Propagate ``v``'s forward frontier into ``u``'s ancestors."""
+        vec_from = self._vec_from
+        pred = self._graph.pred
+        inf = self._inf
+        entries = [
+            (chain, pos) for chain, pos in enumerate(vec_from[v]) if pos < inf
+        ]
+        stack = [(u, entries)]
+        while stack:
+            node, candidate = stack.pop()
+            vec = vec_from[node]
+            improved = [
+                (chain, pos) for chain, pos in candidate if pos < vec[chain]
+            ]
+            if not improved:
+                continue
+            for chain, pos in improved:
+                vec[chain] = pos
+            for parent in pred[node]:
+                stack.append((parent, improved))
+
+    # ------------------------------------------------------------------
+
+    def _found_cycle(
+        self, aprog: AnalysisProgram, graph: ConstraintGraph
+    ) -> Violation:
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        return self._cycle_violation(aprog, graph, cycle)
+
+    def _violation(
+        self, aprog: AnalysisProgram, graph: ConstraintGraph, exc: CycleDetected
+    ) -> Violation:
+        """Build a cycle witness from the edge that closed the cycle."""
+        if exc.u == exc.v:
+            cycle = [exc.u]
+        else:
+            cycle = graph.cycle_through_edge(exc.u, exc.v)
+        return self._cycle_violation(aprog, graph, cycle)
+
+    def _cycle_violation(
+        self, aprog: AnalysisProgram, graph: ConstraintGraph, cycle: List[int]
+    ) -> Violation:
+        return Violation(
+            kind=ViolationKind.CYCLE,
+            message=(
+                f"the inferred global memory order contains a cycle of "
+                f"{len(cycle)} operation(s): "
+                + " <= ".join(aprog.describe(n) for n in cycle)
+                + f" <= {aprog.describe(cycle[0])}"
+            ),
+            cycle=cycle,
+            reasons=graph.cycle_reasons(cycle),
+        )

@@ -355,6 +355,8 @@ def record_check(stats: Any, engine: str) -> None:
     active.count("check.iterations", stats.iterations)
     active.count("check.closure_rebuilds", stats.closure_rebuilds)
     active.count("check.traversals", stats.traversals)
+    active.count("check.vc_queries", stats.vc_queries)
+    active.count("check.reorder_visits", stats.reorder_visits)
     active.record("check.seconds", stats.seconds)
 
 

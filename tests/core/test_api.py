@@ -17,7 +17,7 @@ from tests.util import golden_run
 
 class TestMakeChecker:
     def test_engines_registered(self):
-        assert set(ENGINES) == {"baseline", "closure", "matrix"}
+        assert set(ENGINES) == {"baseline", "closure", "matrix", "vc"}
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -88,6 +88,9 @@ class TestResultObjects:
             assert result.stats.closure_rebuilds >= 1
         baseline = check(program, execution, engine="baseline")
         assert baseline.stats.closure_rebuilds == 0
+        # The incremental engine builds its closure exactly once.
+        vc = check(program, execution, engine="vc")
+        assert vc.stats.closure_rebuilds == 1
 
     def test_explain_pass_is_one_line(self):
         result = check_litmus("P0: S[A]#1 ; L[A]=1")

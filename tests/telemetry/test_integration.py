@@ -40,7 +40,7 @@ class TestInstrumentedLayers:
         assert snap["counters"]["sim.runs"] == 1
         assert snap["counters"]["sim.cycles"] > 0
         assert snap["counters"]["check.runs"] == 1
-        assert snap["counters"]["check.engine.closure"] == 1
+        assert snap["counters"]["check.engine.vc"] == 1  # the default engine
         assert snap["histograms"]["sim.cycles_per_run"]["count"] == 1
 
     def test_every_engine_reports(self):
@@ -49,14 +49,15 @@ class TestInstrumentedLayers:
             GeneratorConfig(nprocs=2, ops_per_proc=20), seed=5
         )
         execution = TsoMachine(program, seed=5).run()
-        for engine in ("baseline", "closure", "matrix"):
+        for engine in ("baseline", "closure", "matrix", "vc"):
             check(program, execution, engine=engine)
         counters = telemetry.get_telemetry().snapshot()["counters"]
-        for engine in ("baseline", "closure", "matrix"):
+        for engine in ("baseline", "closure", "matrix", "vc"):
             assert counters[f"check.engine.{engine}"] == 1
-        assert counters["check.runs"] == 3
+        assert counters["check.runs"] == 4
         assert counters["check.traversals"] > 0      # baseline
         assert counters["check.closure_rebuilds"] > 0  # closure + matrix
+        assert counters["check.vc_queries"] > 0        # vc
 
     def test_disabled_pipeline_records_nothing(self):
         program = generate_program(

@@ -5,9 +5,11 @@ The three load-bearing properties of the whole system:
 1. **End-to-end soundness** — the checker never flags an execution the
    golden TSO machine produced ("we presume the machine innocent,
    unless proved guilty": no false positives, Sec. 1).
-2. **Engine agreement** — the optimized closure engine and the literal
-   Fig. 2 baseline return the same verdict on everything, including
-   adversarially corrupted runs.
+2. **Engine agreement** — all four checker engines (the literal
+   Fig. 2 baseline, the bitset closure, the numpy matrix and the
+   incremental vector-clock engine) return the same verdict — and,
+   on failures, the same violation kind — on everything, including
+   adversarially corrupted and fault-injected runs.
 3. **Complete-checker consistency** — on small programs, the polynomial
    checker is sound w.r.t. the exponential ground truth: whatever it
    flags, the complete procedure also rejects.
@@ -15,9 +17,10 @@ The three load-bearing properties of the whole system:
 
 import random as stdlib_random
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.api import check, check_execution
+from repro.core.api import ENGINES, check, check_execution
 from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
 from repro.core.complete import complete_check
@@ -26,6 +29,11 @@ from repro.generator.config import GeneratorConfig, InstructionMix
 from repro.generator.generator import generate_program
 from repro.model.expansion import expand
 from repro.model.trace import Execution
+from repro.sim.faults import (
+    MECHANISMS_BY_UNIT,
+    MonitorFalseAlarmFault,
+    TraceCorruptionFault,
+)
 from repro.sim.machine import MachineConfig, TsoMachine
 from tests.util import PLAIN_MIX
 
@@ -125,10 +133,46 @@ def test_engines_agree_on_golden_and_corrupted_runs(config, seed):
     execution = TsoMachine(program, seed=seed).run()
     for trace in (execution, _corrupt(execution, seed)):
         verdicts = {
-            engine: check(program, trace, engine=engine).ok
-            for engine in ("closure", "baseline", "matrix")
+            engine: _verdict(check(program, trace, engine=engine))
+            for engine in sorted(ENGINES)
         }
         assert len(set(verdicts.values())) == 1, verdicts
+
+
+def _verdict(result):
+    """The cross-engine comparison key: verdict plus violation kind."""
+    kind = result.violation.kind if result.violation is not None else None
+    return result.ok, kind
+
+
+#: Every shipped fault mechanism except the deliberate-hang scaffolding
+#: (which never completes a run, so there is nothing to analyze).
+_FAULT_MECHANISMS = sorted(
+    {m for ms in MECHANISMS_BY_UNIT.values() for m in ms}
+    | {MonitorFalseAlarmFault, TraceCorruptionFault},
+    key=lambda cls: cls.__name__,
+)
+
+
+@pytest.mark.parametrize(
+    "mechanism", _FAULT_MECHANISMS, ids=lambda cls: cls.__name__
+)
+def test_engines_agree_under_fault_injection(mechanism):
+    # Every fault configuration, several seeds each: enough runs that
+    # most mechanisms produce at least one detected violation, so the
+    # agreement below covers the failing path too, not just clean runs.
+    config = GeneratorConfig(nprocs=4, ops_per_proc=30, shared_words=3)
+    for seed in range(4):
+        program = generate_program(config, seed=seed)
+        machine = TsoMachine(
+            program, seed=seed, faults=[mechanism(rate=0.3)]
+        )
+        trace = machine.run()
+        verdicts = {
+            engine: _verdict(check(program, trace, engine=engine))
+            for engine in sorted(ENGINES)
+        }
+        assert len(set(verdicts.values())) == 1, (mechanism.__name__, verdicts)
 
 
 @FAST
