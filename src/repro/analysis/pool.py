@@ -45,8 +45,10 @@ import multiprocessing
 import multiprocessing.connection
 import sys
 import time
+import warnings
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.core.result import PoolStats
@@ -69,7 +71,10 @@ class PoolEvent:
         index: position of the task in the input sequence.
         label: the task's display label.
         worker: id of the worker that ran (or was killed running) it.
-        seconds: task compute time (0.0 for timeouts/crashes).
+        seconds: wall time of this attempt as measured where it ran —
+            the worker for pooled tasks, the parent for inline ones.
+            0.0 only when no measurement could be taken (the worker was
+            killed or crashed before reporting).
         attempt: 1-based attempt number that produced this event.
         completed: tasks finally resolved so far (done + hung).
         total: total number of tasks in the batch.
@@ -117,12 +122,15 @@ def _emit(
     """
     tel = telemetry.get_telemetry()
     if tel.enabled:
-        if kind == "done":
+        # A failed attempt that ran (and was measured) still burned that
+        # time; only unmeasured deaths (kill, crash) are left out of the
+        # histogram, identically inline and pooled.
+        if kind == "done" or seconds > 0.0:
             tel.record("pool.task_seconds", seconds)
-        else:
+        if kind != "done":
             tel.event(
                 f"pool.{kind}", index=index, label=label, worker=worker,
-                attempt=attempt,
+                attempt=attempt, seconds=seconds,
             )
     if progress is not None:
         progress(PoolEvent(
@@ -151,9 +159,9 @@ def _worker_main(
 ) -> None:
     """Worker loop: receive one task at a time, run it, send the result.
 
-    Messages to the parent are ``("done", seconds, value)`` or
-    ``("error", seconds, repr)``; a ``None`` task is the shutdown
-    sentinel.
+    Messages to the parent are ``("done", seconds, cpu_seconds, value)``
+    or ``("error", seconds, cpu_seconds, repr)``; a ``None`` task is the
+    shutdown sentinel.
 
     Telemetry: the worker attaches to the campaign's JSONL sink (path
     inherited through the environment) and flushes its cumulative
@@ -254,7 +262,9 @@ def run_tasks(
             exception retry/hung accounting still applies).
         task_timeout: hard per-task wall-clock limit in seconds; an
             overdue worker is killed and the task retried or recorded
-            hung.  ``None`` disables the limit (``workers > 1`` only).
+            hung.  ``None`` disables the limit.  Only real worker
+            processes can be killed, so a timeout with ``workers <= 1``
+            cannot be enforced and raises a :class:`RuntimeWarning`.
         retries: how many *additional* attempts a crashed, raising or
             timed-out task gets before being recorded as hung
             (default: one); applied identically inline and pooled.
@@ -272,6 +282,14 @@ def run_tasks(
     names = [str(t) for t in tasks] if labels is None else list(labels)
     if len(names) != len(tasks):
         raise ValueError("labels must match tasks one-to-one")
+    if workers <= 1 and task_timeout is not None:
+        warnings.warn(
+            f"task_timeout={task_timeout} has no effect with "
+            f"workers={workers}: the inline path cannot kill an overdue "
+            "task; use workers >= 2 to enforce a timeout",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     stats = PoolStats(tasks=len(tasks), workers=max(1, workers))
     results: List[Optional[Any]] = [None] * len(tasks)
     start = time.perf_counter()
@@ -315,15 +333,16 @@ def _run_inline(
             try:
                 value = fn(task)
             except Exception:  # noqa: BLE001 - same contract as the pool
+                elapsed = time.perf_counter() - t0
                 stats.cpu_seconds += time.process_time() - c0
                 if attempt <= retries:
                     stats.retries += 1
                     _emit(progress, stats, "retry", index, names[index],
-                          0, 0.0, attempt)
+                          0, elapsed, attempt)
                     continue
                 stats.hung += 1
                 _emit(progress, stats, "hung", index, names[index],
-                      0, 0.0, attempt)
+                      0, elapsed, attempt)
                 break
             results[index] = value
             elapsed = time.perf_counter() - t0
@@ -351,10 +370,13 @@ def _run_pool(
     ctx = _mp_context()
     nworkers = min(workers, len(tasks)) or 1
     tel = telemetry.get_telemetry()
-    #: FIFO of (index, attempt, enqueue time) still to dispatch.
-    queue: List[Tuple[int, int, float]] = [
+    #: FIFO of (index, attempt, enqueue time) still to dispatch; retries
+    #: re-enter at the tail, behind every not-yet-attempted task.  A
+    #: deque so popping the head is O(1) — with a list, a large campaign
+    #: batch pays O(n^2) in head pops alone.
+    queue: Deque[Tuple[int, int, float]] = deque(
         (i, 1, time.monotonic()) for i in range(len(tasks))
-    ]
+    )
     resolved = 0  # done + hung
     pool: Dict[int, _Worker] = {}
     next_id = 0
@@ -366,20 +388,23 @@ def _run_pool(
         next_id += 1
         return worker
 
-    def retry_or_hang(index: int, attempt: int, worker_id: int) -> None:
+    def retry_or_hang(
+        index: int, attempt: int, worker_id: int, seconds: float = 0.0
+    ) -> None:
         """A task's attempt died (crash, broken pipe or timeout):
-        requeue or give up."""
+        requeue or give up.  ``seconds`` is the attempt's measured wall
+        time when the worker lived to report it, else 0.0."""
         nonlocal resolved
         if attempt <= retries:
             stats.retries += 1
             queue.append((index, attempt + 1, time.monotonic()))
             _emit(progress, stats, "retry", index, names[index],
-                  worker_id, 0.0, attempt)
+                  worker_id, seconds, attempt)
         else:
             stats.hung += 1
             resolved += 1
             _emit(progress, stats, "hung", index, names[index],
-                  worker_id, 0.0, attempt)
+                  worker_id, seconds, attempt)
 
     def reap(worker: _Worker, index: int, attempt: int) -> None:
         """Kill a dead/overdue/unreachable worker and replace it."""
@@ -394,7 +419,7 @@ def _run_pool(
             if not queue:
                 return
             if worker.busy is None:
-                index, attempt, enqueued = queue.pop(0)
+                index, attempt, enqueued = queue.popleft()
                 worker.assign(index, attempt, tasks[index])
                 if tel.enabled:
                     tel.observe(
@@ -437,7 +462,10 @@ def _run_pool(
                     _emit(progress, stats, "done", index, names[index],
                           worker.id, seconds, attempt)
                 else:  # "error": the task raised inside the worker.
-                    retry_or_hang(index, attempt, worker.id)
+                    # The worker measured the failed attempt; account its
+                    # compute time just like the inline path does.
+                    stats.cpu_seconds += cpu_seconds
+                    retry_or_hang(index, attempt, worker.id, seconds)
             now = time.monotonic()
             for worker in list(pool.values()):
                 if worker.busy is None:

@@ -306,7 +306,24 @@ def _pool_progress(event) -> None:
     print(event.render(), file=sys.stderr)
 
 
+def _require_workers_for_timeout(args: argparse.Namespace) -> bool:
+    """``--task-timeout`` is enforced by killing worker processes, which
+    the inline ``--workers 1`` path does not have; reject the combination
+    instead of silently running without a timeout."""
+    if args.task_timeout is not None and args.workers <= 1:
+        print(
+            "error: --task-timeout requires --workers >= 2 (the inline "
+            "path cannot kill an overdue task, so the timeout would be "
+            "ignored)",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if not _require_workers_for_timeout(args):
+        return 2
     config = CampaignConfig(
         tests_per_bug=args.tests_per_bug,
         seed=args.seed,
@@ -371,6 +388,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_runtime(args: argparse.Namespace) -> int:
+    if not _require_workers_for_timeout(args):
+        return 2
     pool_kwargs = dict(
         workers=args.workers,
         task_timeout=args.task_timeout,

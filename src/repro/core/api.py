@@ -32,6 +32,7 @@ from repro.core.closure import ClosureChecker
 from repro.core.matrix import MatrixChecker
 from repro.core.policy import MemoryModel, TSO
 from repro.core.result import CheckResult
+from repro.core.stream import StreamingChecker
 from repro.core.vc import VectorClockChecker
 from repro.model.expansion import AnalysisProgram, expand
 from repro.model.program import Program, parse_litmus
@@ -42,11 +43,12 @@ ENGINES = {
     "baseline": BaselineChecker,
     "closure": ClosureChecker,
     "matrix": MatrixChecker,
+    "stream": StreamingChecker,
     "vc": VectorClockChecker,
 }
 
 #: The production default: the incremental vector-clock engine (see
-#: ``docs/engines.md`` for the four engines and when to pick each).
+#: ``docs/engines.md`` for the five engines and when to pick each).
 DEFAULT_ENGINE = "vc"
 
 

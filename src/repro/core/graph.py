@@ -48,6 +48,19 @@ class ConstraintGraph:
         self.reasons: Dict[Tuple[int, int], EdgeReason] = {}
         self.edge_count = 0
 
+    def grow(self) -> None:
+        """Extend adjacency storage to cover ops appended to the program.
+
+        The streaming checker feeds a *live* ``AnalysisProgram`` whose op
+        list grows as the simulator emits records; batch engines never
+        need this (their program is complete at construction).
+        """
+        while self.n < self.aprog.n:
+            self.succ.append([])
+            self.pred.append([])
+            self._succ_sets.append(set())
+            self.n += 1
+
     def redirect(self, u: int, v: int) -> Tuple[int, int]:
         """Apply atomic-group redirection to a prospective edge ``u -> v``.
 

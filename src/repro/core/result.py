@@ -219,6 +219,12 @@ class CheckStats:
     #: the affected-region cost of keeping the topological order (and
     #: with it cycle detection) current across edge insertions.
     reorder_visits: int = 0
+    #: Stream engine only: nodes whose frontier vectors were dropped by
+    #: window retirement, and the peak count of simultaneously-live
+    #: (vector-carrying) nodes.  ``live_peak`` is the engine's memory
+    #: bound: it must track the window, not the run length.
+    retired_nodes: int = 0
+    live_peak: int = 0
 
     @property
     def edges(self) -> int:
@@ -239,6 +245,8 @@ class CheckStats:
             "closure_rebuilds": self.closure_rebuilds,
             "vc_queries": self.vc_queries,
             "reorder_visits": self.reorder_visits,
+            "retired_nodes": self.retired_nodes,
+            "live_peak": self.live_peak,
         }
 
 
@@ -252,7 +260,7 @@ class CheckResult:
             ``ok=True`` does not prove compliance.
         model_name: the memory model the execution was checked against.
         engine: the checker engine used (``baseline``, ``closure``,
-            ``matrix`` or ``vc``).
+            ``matrix``, ``vc`` or ``stream``).
         violation: the witness, when ``ok`` is False.
         stats: analysis-size and runtime bookkeeping.
         aprog: the analysis program, retained for rendering.

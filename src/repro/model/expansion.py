@@ -240,6 +240,9 @@ class _Builder:
         self._next_group = 0
         self._addresses: Set[int] = set(initial)
         self._failures: List[Tuple[str, str]] = []
+        self._roots: Dict[int, int] = {}
+        self._stores_by_addr: Dict[int, List[int]] = {}
+        self._value_map: Dict[Tuple[int, int], int] = {}
         # (pid, rec_idx, instr, loaded words, stored words, kind sequence)
         self._pending: List[Tuple[int, int, DynRecord]] = []
 
@@ -255,11 +258,8 @@ class _Builder:
             for w in range(instr.words()):
                 self._addresses.add(addr + w * WORD_SIZE)
 
-    def finish(self) -> AnalysisProgram:
-        # Root stores first so their ids are stable and dense.
-        roots: Dict[int, int] = {}
-        stores_by_addr: Dict[int, List[int]] = {}
-        value_map: Dict[Tuple[int, int], int] = {}
+    def _init_roots(self) -> None:
+        """Emit the synthetic root stores, one per address, ids first."""
         for addr in sorted(self._addresses):
             op = AnalysisOp(
                 id=len(self._ops),
@@ -270,23 +270,30 @@ class _Builder:
                 value=self._initial.get(addr, 0),
             )
             self._ops.append(op)
-            roots[addr] = op.id
-            stores_by_addr[addr] = [op.id]
-            value_map[(addr, op.value)] = op.id
+            self._roots[addr] = op.id
+            self._stores_by_addr[addr] = [op.id]
+            self._value_map[(addr, op.value)] = op.id
 
-        for pid, rec_idx, rec in self._pending:
-            self._expand_record(pid, rec_idx, rec, value_map, stores_by_addr)
-
-        aprog = AnalysisProgram(
+    def _build_aprog(self) -> AnalysisProgram:
+        """Wrap the builder's (shared, still-mutable) state in the program
+        view every checker engine consumes."""
+        return AnalysisProgram(
             ops=self._ops,
             per_proc=self._per_proc,
-            roots=roots,
+            roots=self._roots,
             groups=self._groups,
-            value_map=value_map,
-            stores_by_addr=stores_by_addr,
+            value_map=self._value_map,
+            stores_by_addr=self._stores_by_addr,
             word_names=self._word_names,
             precheck_failures=self._failures,
         )
+
+    def finish(self) -> AnalysisProgram:
+        # Root stores first so their ids are stable and dense.
+        self._init_roots()
+        for pid, rec_idx, rec in self._pending:
+            self._expand_record(pid, rec_idx, rec)
+        aprog = self._build_aprog()
         self._check_load_values(aprog)
         return aprog
 
@@ -306,8 +313,6 @@ class _Builder:
         value: Optional[int],
         group: int,
         origin: Tuple[int, int],
-        value_map: Dict[Tuple[int, int], int],
-        stores_by_addr: Dict[int, List[int]],
     ) -> AnalysisOp:
         op = AnalysisOp(
             id=len(self._ops),
@@ -325,13 +330,13 @@ class _Builder:
             self._groups[group].append(op.id)
         if kind == OpKind.STORE:
             key = (addr, value)
-            if key in value_map:
+            if key in self._value_map:
                 raise ExpansionError(
                     f"store value {value} written twice to address {addr:#x}: "
                     "unique-store-value requirement violated"
                 )
-            value_map[key] = op.id
-            stores_by_addr.setdefault(addr, []).append(op.id)
+            self._value_map[key] = op.id
+            self._stores_by_addr.setdefault(addr, []).append(op.id)
         return op
 
     def _words_of(self, rec: DynRecord, which: str) -> Tuple[int, ...]:
@@ -344,14 +349,7 @@ class _Builder:
             )
         return values
 
-    def _expand_record(
-        self,
-        pid: int,
-        rec_idx: int,
-        rec: DynRecord,
-        value_map: Dict[Tuple[int, int], int],
-        stores_by_addr: Dict[int, List[int]],
-    ) -> None:
+    def _expand_record(self, pid: int, rec_idx: int, rec: DynRecord) -> None:
         instr = rec.instr
         origin = (pid, rec_idx)
 
@@ -379,7 +377,7 @@ class _Builder:
             for w, value in enumerate(loaded):
                 self._emit(
                     pid, OpKind.LOAD, instr.addr + w * WORD_SIZE, value, group,
-                    origin, value_map, stores_by_addr,
+                    origin,
                 )
             return
 
@@ -389,17 +387,17 @@ class _Builder:
             for w, value in enumerate(stored):
                 self._emit(
                     pid, OpKind.STORE, instr.addr + w * WORD_SIZE, value, group,
-                    origin, value_map, stores_by_addr,
+                    origin,
                 )
             return
 
         if isinstance(instr, ISwap):
-            self._emit_atomic(pid, origin, rec, value_map, stores_by_addr)
+            self._emit_atomic(pid, origin, rec)
             return
 
         if isinstance(instr, ICas):
             if rec.cas_ok:
-                self._emit_atomic(pid, origin, rec, value_map, stores_by_addr)
+                self._emit_atomic(pid, origin, rec)
             else:
                 # Failed compare: the CAS degenerates to a plain load.
                 loaded = self._words_of(rec, "loaded")
@@ -407,7 +405,7 @@ class _Builder:
                 for w, value in enumerate(loaded):
                     self._emit(
                         pid, OpKind.LOAD, instr.addr + w * WORD_SIZE, value, group,
-                        origin, value_map, stores_by_addr,
+                        origin,
                     )
             return
 
@@ -418,7 +416,7 @@ class _Builder:
                 for w in (chunk, chunk + 1):
                     self._emit(
                         pid, OpKind.LOAD, instr.addr + w * WORD_SIZE, loaded[w],
-                        group, origin, value_map, stores_by_addr,
+                        group, origin,
                     )
             return
 
@@ -429,24 +427,18 @@ class _Builder:
                 for w in (chunk, chunk + 1):
                     self._emit(
                         pid, OpKind.STORE, instr.addr + w * WORD_SIZE, stored[w],
-                        group, origin, value_map, stores_by_addr,
+                        group, origin,
                     )
             return
 
         if isinstance(instr, IMembar):
-            self._emit(pid, OpKind.MEMBAR, None, None, NO_GROUP, origin,
-                       value_map, stores_by_addr)
+            self._emit(pid, OpKind.MEMBAR, None, None, NO_GROUP, origin)
             return
 
         raise ExpansionError(f"cannot expand instruction {instr!r}")
 
     def _emit_atomic(
-        self,
-        pid: int,
-        origin: Tuple[int, int],
-        rec: DynRecord,
-        value_map: Dict[Tuple[int, int], int],
-        stores_by_addr: Dict[int, List[int]],
+        self, pid: int, origin: Tuple[int, int], rec: DynRecord
     ) -> None:
         """Emit an atomic [loads; stores] group for a swap or successful CAS."""
         instr = rec.instr
@@ -455,10 +447,10 @@ class _Builder:
         group = self._new_group()
         for w, value in enumerate(loaded):
             self._emit(pid, OpKind.LOAD, instr.addr + w * WORD_SIZE, value, group,
-                       origin, value_map, stores_by_addr)
+                       origin)
         for w, value in enumerate(stored):
             self._emit(pid, OpKind.STORE, instr.addr + w * WORD_SIZE, value, group,
-                       origin, value_map, stores_by_addr)
+                       origin)
 
     def _check_load_values(self, aprog: AnalysisProgram) -> None:
         """Flag loads whose value was never written to their address."""
@@ -469,3 +461,57 @@ class _Builder:
                     f"{aprog.describe(op.id)}: value {op.value} was never "
                     f"written to {aprog.name_of(op.addr)} (unmapped load value)",
                 ))
+
+
+class StreamExpander(_Builder):
+    """Incremental expansion for the streaming checker.
+
+    Where :func:`expand` consumes a *completed* execution in two phases
+    (collect addresses, then expand), this variant is fed one
+    :class:`~repro.model.trace.DynRecord` at a time, as the simulator
+    emits them, and appends the resulting analysis ops to a *live*
+    :class:`AnalysisProgram` whose containers are shared with the checker
+    consuming it.
+
+    The price of streaming is that the address universe must be declared
+    up front: root-store ids come first and are dense, so a never-seen
+    address arriving mid-stream cannot get a root retroactively.  Feeding
+    a record that touches an undeclared address raises
+    :class:`ExpansionError`.
+
+    Unmapped-load detection is *not* performed here (a matching store may
+    simply not have been fed yet); the streaming checker tracks
+    unresolved loads itself and reports survivors when the session
+    finishes.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[int],
+        initial: Optional[Dict[int, int]] = None,
+        word_names: Optional[Dict[int, str]] = None,
+        nprocs: int = 0,
+    ) -> None:
+        super().__init__(dict(initial or {}), dict(word_names or {}))
+        self._addresses.update(addresses)
+        self._init_roots()
+        if nprocs > 0:
+            self.begin_proc(nprocs - 1)
+        self.aprog = self._build_aprog()
+
+    def feed(self, pid: int, rec_idx: int, rec: DynRecord) -> List[int]:
+        """Expand one dynamic record; return the new analysis-op ids."""
+        self.begin_proc(pid)
+        instr = rec.instr
+        addr = getattr(instr, "addr", None)
+        if addr is not None and instr.words():
+            for w in range(instr.words()):
+                word = addr + w * WORD_SIZE
+                if word not in self._roots:
+                    raise ExpansionError(
+                        f"P{pid}.{rec_idx} touches address {word:#x}, which "
+                        "was not declared when the stream session opened"
+                    )
+        before = len(self._ops)
+        self._expand_record(pid, rec_idx, rec)
+        return list(range(before, len(self._ops)))

@@ -32,7 +32,7 @@ perturb specific mechanisms to reproduce the paper's bug catalog.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.generator.lfsr import Lfsr
@@ -171,6 +171,7 @@ class TsoMachine:
         config: Optional[MachineConfig] = None,
         faults: Sequence[Fault] = (),
         policy: Optional[SchedulePolicy] = None,
+        observer: Optional[Callable[[int, int, DynRecord], None]] = None,
     ) -> None:
         program.validate()
         self.program = program
@@ -213,6 +214,23 @@ class TsoMachine:
         #: the Sec. 3.2 "additional observability" fed to
         #: :func:`repro.core.observability.check_with_store_order`.
         self.commit_order: List[Tuple[int, int]] = []
+        #: Per-record observation hook ``(pid, rec_idx, observed_record)``,
+        #: called the moment a CPU retires a dynamic record — the same
+        #: data :func:`repro.model.expansion.expand` consumes, but at
+        #: emission time; this is how the streaming checker
+        #: (:func:`repro.core.stream.stream_check_machine`) pipelines
+        #: checking with simulation.  Must be installed before :meth:`run`.
+        #: The hook sees records *after* observation-path fault
+        #: corruption; corruption is applied at retire time rather than
+        #: end of run, so a stateful fault's RNG draws interleave with the
+        #: run instead of following it — streamed and batch observations
+        #: of the same seed are each internally deterministic but may
+        #: corrupt different records.  Exceptions raised by the hook abort
+        #: the run (used to stop on a detected violation).
+        self.observer = observer
+        self._observed_stream: List[List[DynRecord]] = [
+            [] for _ in range(program.nprocs)
+        ]
 
     # ------------------------------------------------------------------
     # Top level
@@ -257,10 +275,17 @@ class TsoMachine:
 
         true_records = [list(cpu.records) for cpu in self.cpus]
         self.true_execution = Execution(records=true_records)
-        observed = [
-            [self._observe(cpu.pid, rec) for rec in cpu.records]
-            for cpu in self.cpus
-        ]
+        observed = []
+        for cpu in self.cpus:
+            streamed = self._observed_stream[cpu.pid]
+            if len(streamed) == len(cpu.records):
+                # Observer path: records were observed at retire time;
+                # reuse them (re-observing would re-draw fault RNG).
+                observed.append(list(streamed))
+            else:
+                observed.append(
+                    [self._observe(cpu.pid, rec) for rec in cpu.records]
+                )
         return Execution(records=observed)
 
     def fault_reports(self):
@@ -517,6 +542,13 @@ class TsoMachine:
     def _advance(self, cpu: Cpu, instr_index: int, rec: DynRecord, skip: int = 0) -> None:
         cpu.record(instr_index, rec)
         cpu.pc += 1 + skip
+        if self.observer is not None:
+            # Observe (fault-corrupt) once, here; the cached record is
+            # reused for the final Execution so the observer and the
+            # returned trace are guaranteed to agree.
+            observed = self._observe(cpu.pid, rec)
+            self._observed_stream[cpu.pid].append(observed)
+            self.observer(cpu.pid, len(cpu.records) - 1, observed)
 
     def _issue_load(self, cpu: Cpu, instr: ILoad) -> None:
         loaded = self._read_words(

@@ -2,9 +2,11 @@
 
 import os
 import time
+import warnings
 
 import pytest
 
+from repro import telemetry
 from repro.analysis.pool import PoolEvent, run_tasks
 from repro.core.result import PoolStats
 
@@ -23,6 +25,14 @@ def _misbehave(task):
     if kind == "raise":
         raise ValueError("boom")
     return n * n
+
+
+def _work_then_raise(task):
+    """Burn measurable wall and CPU time, then fail."""
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < 0.05:
+        pass
+    raise ValueError("boom after work")
 
 
 class TestInline:
@@ -96,6 +106,69 @@ class TestParallel:
     def test_more_workers_than_tasks(self):
         results, stats = run_tasks(_square, [7], workers=8)
         assert results == [49]
+
+    def test_results_deterministic_across_worker_counts(self):
+        # The dispatch queue is FIFO with retries re-entering at the
+        # tail; whatever the worker count or interleaving, per-task
+        # outcomes (each task determines its own result) are identical.
+        tasks = [
+            ("raise", 1), ("ok", 2), ("raise", 3), ("ok", 4), ("ok", 5),
+            ("ok", 6), ("raise", 7), ("ok", 8),
+        ]
+        expected = [None, 4, None, 16, 25, 36, None, 64]
+        for workers in (1, 2, 4):
+            results, stats = run_tasks(_misbehave, tasks, workers=workers)
+            assert results == expected, workers
+            assert stats.retries == 3 and stats.hung == 3, workers
+            assert stats.completed == 5, workers
+
+
+class TestTimeoutRequiresWorkers:
+    def test_inline_timeout_warns(self):
+        with pytest.warns(RuntimeWarning, match="task_timeout"):
+            results, _ = run_tasks(_square, [3], workers=1, task_timeout=0.5)
+        assert results == [9]  # the batch still runs, just untimed
+
+    def test_pooled_timeout_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            results, _ = run_tasks(_square, [3], workers=2, task_timeout=30.0)
+        assert results == [9]
+
+
+class TestFailureTiming:
+    """Failed-but-measured attempts carry their elapsed time, both paths."""
+
+    def test_inline_failure_events_carry_elapsed(self):
+        events = []
+        results, stats = run_tasks(
+            _work_then_raise, [0], progress=events.append
+        )
+        assert results == [None]
+        assert [e.kind for e in events] == ["retry", "hung"]
+        assert all(e.seconds >= 0.05 for e in events)
+        assert stats.cpu_seconds > 0.0
+
+    def test_pooled_failure_events_carry_elapsed(self):
+        events = []
+        results, stats = run_tasks(
+            _work_then_raise, [0], workers=2, progress=events.append
+        )
+        assert results == [None]
+        assert [e.kind for e in events] == ["retry", "hung"]
+        assert all(e.seconds >= 0.05 for e in events)
+        assert stats.cpu_seconds > 0.0
+
+    def test_failed_attempts_land_in_task_seconds_histogram(self):
+        tel = telemetry.configure()
+        try:
+            run_tasks(_work_then_raise, [0])
+            hist = tel.snapshot()["histograms"]["pool.task_seconds"]
+        finally:
+            telemetry.reset()
+        # Both measured attempts (initial + retry) are recorded.
+        assert hist["count"] == 2
+        assert hist["min"] >= 0.05
 
 
 class TestPoolEvent:

@@ -17,7 +17,7 @@ from tests.util import golden_run
 
 class TestMakeChecker:
     def test_engines_registered(self):
-        assert set(ENGINES) == {"baseline", "closure", "matrix", "vc"}
+        assert set(ENGINES) == {"baseline", "closure", "matrix", "stream", "vc"}
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):

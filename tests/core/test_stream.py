@@ -1,0 +1,254 @@
+"""Tests for the streaming online checker (``repro.core.stream``).
+
+Four concerns, in rising order of streaming-specificity:
+
+* batch parity — as ``--engine stream`` the checker must agree with the
+  vc engine on verdict *and* violation kind (the property suite covers
+  this at scale; here are deterministic spot checks including the
+  witness format);
+* retirement soundness — golden runs must pass at *any* window, because
+  frontier retirement may only lose inference, never invent edges;
+* window-boundary detection — a cycle whose closing edge reaches back
+  into a retired epoch must still be caught and fully witnessed (the
+  graph survives retirement; only frontier vectors are dropped);
+* session semantics — live feeding reports the violation at the record
+  that closes the cycle, not at end of run, and pipelining with the
+  machine via the observer hook yields the same trace ``run()`` returns.
+"""
+
+import pytest
+
+from repro.core.api import check
+from repro.core.policy import PSO, SC, TSO, MemoryModel
+from repro.core.result import ViolationKind
+from repro.core.stream import DEFAULT_WINDOW, StreamingChecker, stream_check_machine
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.model.expansion import expand
+from repro.model.program import parse_litmus
+from repro.sim.machine import TsoMachine
+from tests.util import golden_run, litmus_aprog
+
+
+def _aprog_of(program, execution):
+    return expand(
+        execution, initial=program.initial, word_names=program.word_names
+    )
+
+
+class TestBatchParity:
+    def test_fig3_violation_matches_vc(self):
+        text = """
+            P0: S[B]#91 ; S[A]#1 ; L[A]=2
+            P1: S[A]#2
+            P2: S[B]#92 ; L[A]=2 ; L[B]=92
+            P3: L[B]=92 ; L[B]=91
+        """
+        program, execution = parse_litmus(text)
+        stream = check(program, execution, engine="stream")
+        vc = check(program, execution, engine="vc")
+        assert not stream.ok and not vc.ok
+        assert stream.violation.kind == vc.violation.kind == ViolationKind.CYCLE
+        # Same witness contract: a closed cycle with per-edge reasons.
+        assert len(stream.violation.cycle) >= 2
+        assert len(stream.violation.reasons) == len(stream.violation.cycle)
+        assert "cycle" in stream.explain()
+
+    def test_unmapped_value_kind_matches_batch(self):
+        result = StreamingChecker().run(litmus_aprog("P0: L[A]=42"))
+        assert not result.ok
+        assert result.violation.kind == ViolationKind.UNMAPPED_VALUE
+        assert "42" in result.violation.message
+
+    def test_golden_runs_pass_under_each_model(self):
+        program, execution, _machine = golden_run(seed=21)
+        aprog = _aprog_of(program, execution)
+        for model in (TSO, PSO):
+            result = StreamingChecker(model).run(aprog)
+            assert result.ok, result.explain()
+        # SC machine runs pass the SC stream checker too.
+        from repro.sim.machine import MachineConfig
+
+        program, execution, _machine = golden_run(
+            seed=22, machine_config=MachineConfig(sc_mode=True)
+        )
+        assert StreamingChecker(SC).run(_aprog_of(program, execution)).ok
+
+    def test_stats_populated(self):
+        program, execution, _machine = golden_run(seed=23)
+        result = StreamingChecker().run(_aprog_of(program, execution))
+        stats = result.stats
+        assert stats.nodes > 0 and stats.static_edges > 0
+        assert stats.observed_edges > 0
+        assert stats.live_peak > 0
+        # Default window exceeds the run: nothing retires, vc parity holds.
+        assert stats.retired_nodes == 0
+        assert stats.nodes < DEFAULT_WINDOW
+
+    def test_unsupported_model_rejected_up_front(self):
+        rmo_like = MemoryModel(
+            "RMOish", load_load=False, load_store=False,
+            store_store=False, store_load=False,
+        )
+        with pytest.raises(ValueError, match="load_load"):
+            StreamingChecker(rmo_like).run(litmus_aprog("P0: S[A]#1 ; L[A]=1"))
+
+
+class TestRetirementSoundness:
+    def test_golden_runs_pass_at_any_window(self):
+        # Retirement may lose inference (windowed verification) but must
+        # never create a false positive — golden runs pass even with a
+        # window of a single op.
+        config = GeneratorConfig(nprocs=4, ops_per_proc=40, shared_words=4)
+        for seed in range(5):
+            program = generate_program(config, seed=seed)
+            execution = TsoMachine(program, seed=seed).run()
+            aprog = _aprog_of(program, execution)
+            for window in (1, 2, 7, 64):
+                result = StreamingChecker(window=window).run(aprog)
+                assert result.ok, (seed, window, result.explain())
+
+    def test_small_window_actually_retires(self):
+        program, execution, _machine = golden_run(seed=24)
+        aprog = _aprog_of(program, execution)
+        result = StreamingChecker(window=16).run(aprog)
+        assert result.ok
+        assert result.stats.retired_nodes > 0
+        assert result.stats.live_peak < result.stats.nodes
+
+
+class TestWindowBoundaryDetection:
+    def _retired_epoch_case(self):
+        # P0's two stores to A are program-ordered (R2).  P1 observes the
+        # second store, then — after enough filler that the window has
+        # long retired both the first store and the early loads — the
+        # first one.  R6 then needs the edge S[A]#2 -> S[A]#1, closing a
+        # cycle whose other arc lies entirely in a retired epoch.
+        filler = " ; ".join("L[C]=0" for _ in range(40))
+        return parse_litmus(f"""
+            P0: S[A]#1 ; S[A]#2
+            P1: L[A]=2 ; {filler} ; L[A]=1
+        """)
+
+    def test_cycle_across_retired_epoch_detected_and_witnessed(self):
+        program, execution = self._retired_epoch_case()
+        aprog = _aprog_of(program, execution)
+        result = StreamingChecker(window=4).run(aprog)
+        assert not result.ok
+        assert result.violation.kind == ViolationKind.CYCLE
+        assert result.stats.retired_nodes > 0  # the epoch really retired
+        # The witness is complete despite retirement: a closed cycle with
+        # one reason per edge, renderable end to end.
+        cycle = result.violation.cycle
+        assert len(cycle) >= 2
+        assert len(result.violation.reasons) == len(cycle)
+        text = result.explain()
+        assert "S[A]#1" in text and "S[A]#2" in text
+
+    def test_agrees_with_vc_at_every_window(self):
+        program, execution = self._retired_epoch_case()
+        aprog = _aprog_of(program, execution)
+        vc = check(program, execution, engine="vc")
+        for window in (2, 4, 16, DEFAULT_WINDOW):
+            result = StreamingChecker(window=window).run(aprog)
+            assert result.ok == vc.ok
+            assert result.violation.kind == vc.violation.kind
+
+
+class TestStreamSession:
+    def test_violation_reported_at_closing_record(self):
+        # The cycle closes at P1's second load; the two trailing records
+        # must not be needed to surface it.
+        program, execution = parse_litmus("""
+            P0: S[A]#1 ; S[A]#2 ; S[B]#7
+            P1: L[A]=2 ; L[A]=1 ; L[B]=7 ; L[B]=7
+        """)
+        session = StreamingChecker().open_session(
+            addresses=sorted(program.addresses()),
+            initial=program.initial,
+            word_names=program.word_names,
+            nprocs=len(execution.records),
+        )
+        fed = []
+        for pid, records in enumerate(execution.records):
+            for rec in records:
+                fed.append((pid, session.feed(pid, rec)))
+        # No verdict while only P0's stores were in.
+        assert all(v is None for pid, v in fed if pid == 0)
+        p1 = [v for pid, v in fed if pid == 1]
+        assert p1[0] is None                      # L[A]=2: consistent so far
+        assert p1[1] is not None                  # L[A]=1 closes the cycle
+        assert p1[1].kind == ViolationKind.CYCLE
+        assert p1[2] is p1[1] and p1[3] is p1[1]  # sticky thereafter
+        result = session.finish()
+        assert not result.ok
+        assert result.violation is p1[1]
+
+    def test_session_verdict_matches_batch_on_golden_run(self):
+        program, execution, _machine = golden_run(seed=25)
+        session = StreamingChecker(window=64).open_session(
+            addresses=sorted(program.addresses()),
+            initial=program.initial,
+            word_names=program.word_names,
+            nprocs=len(execution.records),
+        )
+        # Round-robin feed: a legal arrival order the batch path never
+        # exercises (it replays proc-major).
+        cursors = [0] * len(execution.records)
+        remaining = sum(len(r) for r in execution.records)
+        pid = 0
+        while remaining:
+            if cursors[pid] < len(execution.records[pid]):
+                session.feed(pid, execution.records[pid][cursors[pid]])
+                cursors[pid] += 1
+                remaining -= 1
+            pid = (pid + 1) % len(execution.records)
+        result = session.finish()
+        assert result.ok, result.explain()
+        assert result.stats.retired_nodes > 0
+
+    def test_unresolved_load_is_unmapped_at_finish(self):
+        program, execution = parse_litmus("P0: S[A]#1 ; L[A]=1")
+        session = StreamingChecker().open_session(
+            addresses=sorted(program.addresses()),
+            initial=program.initial,
+            nprocs=1,
+        )
+        # Feed only the load: its store never arrives.
+        assert session.feed(0, execution.records[0][1]) is None
+        result = session.finish()
+        assert not result.ok
+        assert result.violation.kind == ViolationKind.UNMAPPED_VALUE
+
+
+class TestMachinePipelining:
+    def test_stream_check_machine_matches_run(self):
+        config = GeneratorConfig(nprocs=4, ops_per_proc=60, shared_words=4)
+        program = generate_program(config, seed=26)
+        machine = TsoMachine(program, seed=26)
+        result, execution = stream_check_machine(machine, window=32)
+        assert result.ok, result.explain()
+        assert execution is not None
+        assert result.stats.retired_nodes > 0
+        assert result.stats.live_peak < result.stats.nodes
+        # The streamed trace is the machine's observed trace: a separate
+        # identically-seeded batch run produces exactly the same records.
+        batch = TsoMachine(program, seed=26).run()
+        assert execution.records == batch.records
+
+    def test_observer_sees_every_record_in_retire_order(self):
+        program = generate_program(
+            GeneratorConfig(nprocs=2, ops_per_proc=20, shared_words=2), seed=27
+        )
+        seen = []
+        machine = TsoMachine(
+            program, seed=27,
+            observer=lambda pid, idx, rec: seen.append((pid, idx)),
+        )
+        execution = machine.run()
+        total = sum(len(r) for r in execution.records)
+        assert len(seen) == total
+        # Per-cpu indices arrive in order 0, 1, 2, ...
+        for pid in range(2):
+            indices = [i for p, i in seen if p == pid]
+            assert indices == list(range(len(indices)))

@@ -143,6 +143,17 @@ class TestCampaignAndRuntime:
         assert code == 2
         assert "hung: HANG-bug01" in capsys.readouterr().out
 
+    def test_task_timeout_without_workers_is_an_error(self, capsys):
+        # --task-timeout is enforced by killing worker processes; with
+        # the inline default it would be silently ignored, so reject it.
+        for argv in (
+            ["campaign", "--tests-per-bug", "2", "--task-timeout", "1.0"],
+            ["runtime", "--ops-points", "40", "--task-timeout", "1.0"],
+        ):
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert "--task-timeout requires --workers" in err
+
     def test_campaign_exit_2_when_campaign_crashes(self, capsys, monkeypatch):
         import repro.cli as cli
 

@@ -5,9 +5,10 @@ The three load-bearing properties of the whole system:
 1. **End-to-end soundness** — the checker never flags an execution the
    golden TSO machine produced ("we presume the machine innocent,
    unless proved guilty": no false positives, Sec. 1).
-2. **Engine agreement** — all four checker engines (the literal
-   Fig. 2 baseline, the bitset closure, the numpy matrix and the
-   incremental vector-clock engine) return the same verdict — and,
+2. **Engine agreement** — all five checker engines (the literal
+   Fig. 2 baseline, the bitset closure, the numpy matrix, the
+   incremental vector-clock engine and the streaming engine at its
+   default no-retirement window) return the same verdict — and,
    on failures, the same violation kind — on everything, including
    adversarially corrupted and fault-injected runs.
 3. **Complete-checker consistency** — on small programs, the polynomial
