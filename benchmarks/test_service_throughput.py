@@ -1,0 +1,90 @@
+"""Campaign service overhead: shards/sec and queue cost vs run_campaign.
+
+The service adds layers a one-shot campaign does not have — manifest
+expansion, per-hunt JSONL persistence, dedup digesting, shard markers
+and a final store-backed merge.  This bench runs the same workload both
+ways and records what those layers cost:
+
+* wall-clock overhead of ``JobRunner.run()`` over a plain
+  ``run_campaign`` loop of the same hunts (same seeds, same configs);
+* shard and hunt throughput of the service path;
+* resume cost — re-running a completed job (pure store load + merge).
+
+Parity is asserted (the service must not change any hunt), overhead is
+recorded; only an egregious regression fails the bench, since absolute
+times vary with the host.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.campaign import run_campaign
+from repro.service.manifest import CampaignManifest
+from repro.service.queue import JobRunner
+from repro.service.store import ResultStore
+from repro.sim.cpus import cpu_by_name
+
+SEEDS = (2004, 2005, 2006)
+CPUS = ("CPU1", "CPU2")
+TESTS_PER_BUG = 8
+
+
+def test_service_throughput_vs_run_campaign(record, tmp_path_factory):
+    manifest = CampaignManifest(
+        name="bench", seeds=SEEDS, cpus=CPUS, tests_per_bug=TESTS_PER_BUG
+    )
+    shards = manifest.shards()
+
+    # Plain path: one run_campaign per seed (what a user would script).
+    t0 = time.perf_counter()
+    plain_hunts = []
+    for seed in SEEDS:
+        result = run_campaign(
+            cpus=[cpu_by_name(c) for c in CPUS],
+            config=manifest.campaign_config(seed),
+        )
+        plain_hunts.extend(result.hunts)
+    plain_seconds = time.perf_counter() - t0
+
+    # Service path: same hunts through the queue + persistent store.
+    root = str(tmp_path_factory.mktemp("service-bench"))
+    store = ResultStore(root)
+    t0 = time.perf_counter()
+    service_result = JobRunner(manifest, store).run()
+    service_seconds = time.perf_counter() - t0
+
+    # Parity: the service layers must not perturb a single hunt.
+    assert service_result.hunts == plain_hunts
+
+    # Resume path: everything recorded, run() only loads and merges.
+    t0 = time.perf_counter()
+    resumed = JobRunner(manifest, ResultStore(root)).run()
+    resume_seconds = time.perf_counter() - t0
+    assert resumed.hunts == plain_hunts
+
+    hunts = len(plain_hunts)
+    overhead = service_seconds - plain_seconds
+    lines = [
+        f"workload: {len(SEEDS)} seed(s) x {', '.join(CPUS)} at "
+        f"tests_per_bug={TESTS_PER_BUG} = {len(shards)} shards, "
+        f"{hunts} hunts (sequential, 1 worker)",
+        f"  plain run_campaign loop: {plain_seconds:7.2f}s "
+        f"({hunts / plain_seconds:6.2f} hunts/s)",
+        f"  service JobRunner.run(): {service_seconds:7.2f}s "
+        f"({hunts / service_seconds:6.2f} hunts/s, "
+        f"{len(shards) / service_seconds:5.2f} shards/s)",
+        f"  queue+store overhead:    {overhead:7.2f}s "
+        f"({100.0 * overhead / plain_seconds:+5.1f}% of plain)",
+        f"  resume of finished job:  {resume_seconds:7.3f}s "
+        "(store load + merge only, zero hunts re-run)",
+    ]
+    record("service_throughput", "\n".join(lines))
+
+    # The persistence layers ride on hunts that each simulate and check
+    # whole programs — egregious overhead means something is broken.
+    assert service_seconds <= plain_seconds * 1.5 + 2.0, (
+        f"service path {service_seconds:.2f}s vs plain "
+        f"{plain_seconds:.2f}s — persistence overhead exploded"
+    )
+    assert resume_seconds < plain_seconds, "resume must not re-run hunts"

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.analysis.pool import ProgressFn, run_tasks
-from repro.analysis.replay import hunt_trace_meta
+from repro.analysis.replay import bug_spec_from_meta, hunt_trace_meta
 from repro.core.api import DEFAULT_ENGINE, check
 from repro.core.policy import TSO, MemoryModel
 from repro.core.result import PoolStats
@@ -116,6 +116,47 @@ class BugHunt:
         """Bug class of the hunted bug."""
         return self.spec.bug_class
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation, stable across processes.
+
+        Only primary fields are stored; derived properties (``unit``,
+        ``bug_class``) are recomputed from the spec on load.  The spec
+        itself uses the same field layout as a hunt trace's ``fault``
+        meta, so :func:`repro.analysis.replay.bug_spec_from_meta` is the
+        shared decoder.
+        """
+        return {
+            "spec": {
+                "name": self.spec.name,
+                "mechanism": self.spec.mechanism.__name__,
+                "unit": self.spec.unit.value,
+                "bug_class": self.spec.bug_class.value,
+                "rate": self.spec.rate,
+            },
+            "cpu": self.cpu,
+            "detected": self.detected,
+            "tests_run": self.tests_run,
+            "detected_on_seed": self.detected_on_seed,
+            "via": self.via,
+            "hung": self.hung,
+            "schedule": self.schedule,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BugHunt":
+        """Inverse of :meth:`to_dict`."""
+        seed = data.get("detected_on_seed")
+        return cls(
+            spec=bug_spec_from_meta(dict(data["spec"])),  # type: ignore[arg-type]
+            cpu=str(data["cpu"]),
+            detected=bool(data["detected"]),
+            tests_run=int(data["tests_run"]),  # type: ignore[arg-type]
+            detected_on_seed=None if seed is None else int(seed),  # type: ignore[arg-type]
+            via=str(data.get("via", "")),
+            hung=bool(data.get("hung", False)),
+            schedule=None if data.get("schedule") is None else str(data["schedule"]),
+        )
+
 
 @dataclass
 class CampaignResult:
@@ -201,6 +242,47 @@ class CampaignResult:
     def hung_hunts(self) -> List[BugHunt]:
         """Hunts abandoned after worker crashes/timeouts (never silent)."""
         return [h for h in self.hunts if h.hung]
+
+    def exit_code(self) -> int:
+        """The documented campaign exit-code contract, derived from hunts.
+
+        0 = every seeded bug detected, 1 = some bugs undetected, 2 = at
+        least one hunt hung.  Shared by ``tsotool campaign`` and the
+        campaign service so a resumed job reports exactly what a
+        from-scratch campaign would.
+        """
+        if self.hung_hunts():
+            return 2
+        if self.missed():
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation for archived/merged campaign results.
+
+        Derived rows (``table1_rows``, ``detection_rate``, …) are never
+        stored — they are recomputed from the hunts on load, so stored
+        results cannot drift from their own tables.
+        """
+        return {
+            "hunts": [h.to_dict() for h in self.hunts],
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "stats": None if self.stats is None else self.stats.to_dict(),
+            "sched": self.sched,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
+        """Inverse of :meth:`to_dict`."""
+        stats = data.get("stats")
+        return cls(
+            hunts=[BugHunt.from_dict(h) for h in data.get("hunts", [])],  # type: ignore[union-attr]
+            wall_seconds=float(data.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+            cpu_seconds=float(data.get("cpu_seconds", 0.0)),  # type: ignore[arg-type]
+            stats=None if stats is None else PoolStats.from_dict(dict(stats)),  # type: ignore[arg-type]
+            sched=str(data.get("sched", "random")),
+        )
 
 
 def hunt_bug(

@@ -35,8 +35,10 @@ worker processes.
 When :mod:`repro.telemetry` is enabled, the batch runs under a
 ``pool.batch`` span, queue wait time is accumulated in the
 ``pool.queue_wait`` timer, per-task compute time lands in the
-``pool.task_seconds`` histogram, and every retry/hang emits a
-``pool.retry``/``pool.hung`` event.
+``pool.task_seconds`` histogram, every retry/hang emits a
+``pool.retry``/``pool.hung`` event, and every replacement worker spawned
+for a dead/overdue one bumps the ``pool.respawns`` counter (also
+tracked in :attr:`~repro.core.result.PoolStats.respawns`).
 """
 
 from __future__ import annotations
@@ -101,6 +103,9 @@ class PoolEvent:
 
 #: Progress callback type.
 ProgressFn = Callable[[PoolEvent], None]
+
+#: Streaming-result callback type: ``(task index, result value)``.
+ResultFn = Callable[[int, Any], None]
 
 
 def _emit(
@@ -250,6 +255,7 @@ def run_tasks(
     retries: int = 1,
     labels: Optional[Sequence[str]] = None,
     progress: Optional[ProgressFn] = None,
+    on_result: Optional[ResultFn] = None,
 ) -> Tuple[List[Optional[Any]], PoolStats]:
     """Run ``fn`` over ``tasks``, optionally sharded across processes.
 
@@ -272,6 +278,12 @@ def run_tasks(
             ``task[i]``'s ``str``).
         progress: optional callback receiving a :class:`PoolEvent` per
             completion, retry, and hang.
+        on_result: optional callback invoked in the *parent* process the
+            moment a task resolves successfully, with ``(index, value)``
+            — before the batch finishes.  This is what lets a caller
+            persist results incrementally (the campaign service's
+            crash-safe store depends on it); hung tasks never reach it.
+            An exception raised by the callback aborts the batch.
 
     Returns:
         ``(results, stats)`` where ``results[i]`` is ``fn(tasks[i])`` or
@@ -297,12 +309,14 @@ def run_tasks(
         "pool.batch", workers=stats.workers, tasks=len(tasks)
     ):
         if workers <= 1:
-            _run_inline(fn, tasks, names, results, stats, retries, progress)
+            _run_inline(
+                fn, tasks, names, results, stats, retries, progress, on_result
+            )
         else:
             _run_pool(
                 fn, tasks, names, results, stats,
                 workers=workers, task_timeout=task_timeout,
-                retries=retries, progress=progress,
+                retries=retries, progress=progress, on_result=on_result,
             )
     stats.wall_seconds = time.perf_counter() - start
     return results, stats
@@ -316,6 +330,7 @@ def _run_inline(
     stats: PoolStats,
     retries: int,
     progress: Optional[ProgressFn],
+    on_result: Optional[ResultFn] = None,
 ) -> None:
     """The sequential path: a plain loop over ``fn``, pool semantics.
 
@@ -349,6 +364,8 @@ def _run_inline(
             stats.completed += 1
             stats.cpu_seconds += time.process_time() - c0
             stats.per_worker[0] = stats.per_worker.get(0, 0) + 1
+            if on_result is not None:
+                on_result(index, value)
             _emit(progress, stats, "done", index, names[index],
                   0, elapsed, attempt)
             break
@@ -365,6 +382,7 @@ def _run_pool(
     task_timeout: Optional[float],
     retries: int,
     progress: Optional[ProgressFn],
+    on_result: Optional[ResultFn] = None,
 ) -> None:
     """The multiprocessing path of :func:`run_tasks`."""
     ctx = _mp_context()
@@ -387,6 +405,15 @@ def _run_pool(
         pool[worker.id] = worker
         next_id += 1
         return worker
+
+    def respawn() -> _Worker:
+        """Replace a dead/overdue/unreachable worker — and leave a trace:
+        every replacement is counted in ``stats.respawns`` and the
+        ``pool.respawns`` telemetry counter."""
+        stats.respawns += 1
+        if tel.enabled:
+            tel.count("pool.respawns")
+        return spawn()
 
     def retry_or_hang(
         index: int, attempt: int, worker_id: int, seconds: float = 0.0
@@ -411,7 +438,7 @@ def _run_pool(
         del pool[worker.id]
         worker.kill()
         retry_or_hang(index, attempt, worker.id)
-        spawn()
+        respawn()
 
     def dispatch() -> None:
         """Hand queued tasks to idle workers."""
@@ -459,6 +486,8 @@ def _run_pool(
                         stats.per_worker.get(worker.id, 0) + 1
                     )
                     resolved += 1
+                    if on_result is not None:
+                        on_result(index, payload)
                     _emit(progress, stats, "done", index, names[index],
                           worker.id, seconds, attempt)
                 else:  # "error": the task raised inside the worker.
@@ -473,7 +502,7 @@ def _run_pool(
                         # Idle worker died (should not happen): replace it.
                         del pool[worker.id]
                         worker.kill()
-                        spawn()
+                        respawn()
                     continue
                 index, attempt, started = worker.busy
                 overdue = (
@@ -483,7 +512,7 @@ def _run_pool(
                     del pool[worker.id]
                     worker.kill()
                     retry_or_hang(index, attempt, worker.id)
-                    spawn()
+                    respawn()
     finally:
         for worker in pool.values():
             worker.shutdown()

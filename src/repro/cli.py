@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
+import os
 import sys
+import urllib.request
 from typing import List, Optional
 
 from repro import telemetry
@@ -62,6 +65,7 @@ from repro.sched import (
     make_policy,
     sweep_program,
 )
+from repro.service import CampaignManifest, CampaignService, ServiceConfig
 from repro.sim.cpus import cpu_by_name, CPU_CONFIGS
 from repro.sim.machine import MachineConfig, TsoMachine
 
@@ -369,10 +373,100 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for hunt in missed:
         tag = "hung" if hunt.hung else "missed"
         print(f"  {tag}: {hunt.spec.name} ({hunt.spec.mechanism.__name__})")
-    if hung:
+    return result.exit_code()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    try:
+        manifest = CampaignManifest.load(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"cannot submit: {exc}", file=sys.stderr)
         return 2
-    if missed:
-        return 1
+    except json.JSONDecodeError as exc:
+        print(f"cannot submit: {args.manifest} is not JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    service = CampaignService(ServiceConfig(root=args.root, http_port=None))
+    job_id = service.submit(manifest)
+    state = (
+        "already finished" if service.job_done(job_id) else "queued"
+    )
+    print(
+        f"submitted {job_id}: {len(manifest.shards())} shard(s), "
+        f"{manifest.hunt_count()} hunt(s), {state}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if not _require_workers_for_timeout(args):
+        return 2
+    config = ServiceConfig(
+        root=args.root,
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        poll_seconds=args.poll_seconds,
+        http_host=args.http_host,
+        http_port=None if args.no_http else args.http_port,
+        once=args.once,
+    )
+    service = CampaignService(
+        config, progress=_pool_progress if args.workers > 1 else None
+    )
+    return service.serve()
+
+
+def _status_payload(root: str) -> dict:
+    """Live payload from the daemon's endpoint when one is up; otherwise
+    an offline scan of the same stores (identical shape)."""
+    address_path = os.path.join(root, "status.address")
+    try:
+        with open(address_path) as fh:
+            host, port = fh.read().split()
+        url = f"http://{host}:{port}/status"
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            payload = json.load(resp)
+        payload["service"]["live"] = True
+        return payload
+    except (OSError, ValueError):
+        pass
+    service = CampaignService(ServiceConfig(root=root, http_port=None))
+    payload = service.status()
+    payload["service"]["live"] = False
+    return payload
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.root):
+        print(f"no service root at {args.root}", file=sys.stderr)
+        return 2
+    payload = _status_payload(args.root)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    info = payload["service"]
+    source = (
+        f"live daemon, pid {info['pid']}" if info.get("live")
+        else "offline scan"
+    )
+    print(f"service root {info['root']} ({source})")
+    jobs = payload.get("jobs", [])
+    if not jobs:
+        print("no jobs submitted")
+        return 0
+    for job in jobs:
+        shards, hunts = job["shards"], job["hunts"]
+        line = (
+            f"  {job['id']}: {job['state']}, "
+            f"shards {shards['done']}/{shards['total']}, "
+            f"hunts {hunts['recorded']}/{hunts['total']} "
+            f"({hunts['detected']} detected, {hunts['hung']} hung)"
+        )
+        if job.get("dedup_buckets"):
+            line += f", {job['dedup_buckets']} failure bucket(s)"
+        if job.get("exit_code") is not None:
+            line += f", exit {job['exit_code']}"
+        print(line)
     return 0
 
 
@@ -530,6 +624,60 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checker engine for hunt triage")
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "submit",
+        help="spool a campaign manifest for the service daemon",
+    )
+    p.add_argument("manifest", help="campaign manifest JSON file "
+                   "(see docs/campaign-service.md)")
+    p.add_argument("--root", default="service",
+                   help="service root directory (default: ./service)")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign service daemon",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes (--once):\n"
+            "  0  every job's seeded bugs were all detected\n"
+            "  1  some job left seeded bugs undetected\n"
+            "  2  some job had a hung hunt or crashed mid-hunt\n"
+            "i.e. the worst 'tsotool campaign' exit code across jobs.\n"
+            "Without --once the daemon serves until SIGINT/SIGTERM\n"
+            "and exits 0 on clean shutdown."
+        ),
+    )
+    p.add_argument("--root", default="service",
+                   help="service root directory (default: ./service)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes per job (default: 1, sequential)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="hard per-hunt timeout in seconds (workers > 1 only)")
+    p.add_argument("--once", action="store_true",
+                   help="drain the spool once and exit instead of serving")
+    p.add_argument("--poll-seconds", type=float, default=0.5,
+                   help="spool re-scan interval while idle")
+    p.add_argument("--http-host", default="127.0.0.1",
+                   help="status endpoint bind host")
+    p.add_argument("--http-port", type=int, default=0,
+                   help="status endpoint port (default: 0 = OS-assigned; "
+                        "the bound address is written to ROOT/status.address)")
+    p.add_argument("--no-http", action="store_true",
+                   help="run without the status endpoint")
+    _add_telemetry_args(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "status",
+        help="show service job progress (live endpoint or offline scan)",
+    )
+    p.add_argument("--root", default="service",
+                   help="service root directory (default: ./service)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw status payload as JSON")
+    p.set_defaults(func=_cmd_status)
 
     p = sub.add_parser(
         "report", help="run the whole evaluation and write one report"

@@ -88,6 +88,11 @@ class PoolStats:
     completed: int = 0
     hung: int = 0
     retries: int = 0
+    #: Worker processes spawned as *replacements* for dead, overdue or
+    #: unreachable workers (the initial pool is not counted).  Mirrored
+    #: into the ``pool.respawns`` telemetry counter; before this field a
+    #: respawn-after-death left no trace in stats or metrics.
+    respawns: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
@@ -108,7 +113,9 @@ class PoolStats:
             f"{self.wall_seconds:.1f}s wall ({self.cpu_seconds:.1f}s CPU, "
             f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
             f"{self.tasks_per_second:.2f} tasks/s, "
-            f"{self.hung} hung, {self.retries} retries)"
+            f"{self.hung} hung, {self.retries} retries"
+            + (f", {self.respawns} respawns" if self.respawns else "")
+            + ")"
         )
 
     def worker_lines(self) -> List[str]:
@@ -125,6 +132,7 @@ class PoolStats:
             "completed": self.completed,
             "hung": self.hung,
             "retries": self.retries,
+            "respawns": self.respawns,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
@@ -143,6 +151,7 @@ class PoolStats:
             completed=int(data.get("completed", 0)),  # type: ignore[arg-type]
             hung=int(data.get("hung", 0)),  # type: ignore[arg-type]
             retries=int(data.get("retries", 0)),  # type: ignore[arg-type]
+            respawns=int(data.get("respawns", 0)),  # type: ignore[arg-type]
             workers=int(data.get("workers", 1)),  # type: ignore[arg-type]
             wall_seconds=float(data.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
             cpu_seconds=float(data.get("cpu_seconds", 0.0)),  # type: ignore[arg-type]

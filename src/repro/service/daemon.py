@@ -1,0 +1,302 @@
+"""The campaign service daemon: spool, serve loop, signals, status.
+
+Layout under the service root::
+
+    <root>/spool/<job_id>.manifest.json   # submissions, FIFO by mtime
+    <root>/jobs/<job_id>/                 # one ResultStore per job
+    <root>/jobs/<job_id>/result.json      # merged CampaignResult + exit code
+    <root>/status.address                 # "host port" of the live endpoint
+
+``submit`` writes the manifest into the spool atomically; because the
+job id is a content digest, re-submitting the same manifest attaches to
+the existing job instead of spending its budget twice.  ``serve`` drains
+the spool oldest-first, runs each unfinished job through a
+:class:`~repro.service.queue.JobRunner` (which persists every hunt as it
+completes), and writes ``result.json`` when the job's merged result is
+ready.  A job whose ``result.json`` already exists is never re-run — the
+restart-after-SIGKILL path re-runs only hunts the store has no record
+of, then merges.
+
+Exit-code contract (``--once`` mode): the maximum campaign exit code
+across all spooled jobs — 0 all bugs detected, 1 some undetected, 2 a
+hunt hung or crashed — i.e. exactly what ``tsotool campaign`` would
+have returned for the worst job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.analysis.pool import ProgressFn
+from repro.service.manifest import CampaignManifest
+from repro.service.queue import JobRunner
+from repro.service.status import StatusServer
+from repro.service.store import ResultStore
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How a :class:`CampaignService` runs (root dir + knobs)."""
+
+    #: Service root; spool, job stores and the address file live here.
+    root: str
+    #: Pool workers per job (``run_tasks`` semantics; 1 = inline).
+    workers: int = 1
+    #: Per-hunt timeout in seconds (requires ``workers >= 1`` pool mode).
+    task_timeout: Optional[float] = None
+    #: Spool re-scan interval while idle, seconds.
+    poll_seconds: float = 0.5
+    #: Status endpoint bind host.
+    http_host: str = "127.0.0.1"
+    #: Status endpoint port; 0 = OS-assigned, ``None`` = no endpoint.
+    http_port: Optional[int] = 0
+    #: Drain the spool once and exit instead of serving forever.
+    once: bool = False
+
+
+class CampaignService:
+    """The daemon: accepts manifests, runs jobs, reports progress."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.config = config
+        self.progress = progress
+        self.spool_dir = os.path.join(config.root, "spool")
+        self.jobs_dir = os.path.join(config.root, "jobs")
+        os.makedirs(self.spool_dir, exist_ok=True)
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self._started = time.time()
+        self._active_job: Optional[str] = None
+
+    # -- paths ---------------------------------------------------------
+
+    def _spool_path(self, job_id: str) -> str:
+        return os.path.join(self.spool_dir, f"{job_id}.manifest.json")
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "result.json")
+
+    @property
+    def address_path(self) -> str:
+        return os.path.join(self.config.root, "status.address")
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, manifest: CampaignManifest) -> str:
+        """Spool a manifest; returns its job id.  Idempotent — the job
+        id digests the manifest content, so a duplicate submission maps
+        to the already-spooled job."""
+        job_id = manifest.job_id
+        path = self._spool_path(job_id)
+        if not os.path.exists(path):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(manifest.to_json() + "\n")
+            os.replace(tmp, path)
+            telemetry.count("service.submissions")
+        return job_id
+
+    def spooled(self) -> List[Tuple[str, CampaignManifest]]:
+        """Spooled jobs, oldest submission first (FIFO by mtime)."""
+        entries: List[Tuple[float, str, str]] = []
+        for name in os.listdir(self.spool_dir):
+            if not name.endswith(".manifest.json"):
+                continue
+            path = os.path.join(self.spool_dir, name)
+            job_id = name[: -len(".manifest.json")]
+            try:
+                entries.append((os.path.getmtime(path), job_id, path))
+            except FileNotFoundError:
+                continue
+        out: List[Tuple[str, CampaignManifest]] = []
+        for _, job_id, path in sorted(entries):
+            out.append((job_id, CampaignManifest.load(path)))
+        return out
+
+    # -- running -------------------------------------------------------
+
+    def job_done(self, job_id: str) -> bool:
+        return os.path.exists(self.result_path(job_id))
+
+    def run_job(self, job_id: str, manifest: CampaignManifest) -> int:
+        """Run (or resume) one job to completion; returns its exit code.
+
+        Crash-safe by construction: hunts persist as they complete, and
+        ``result.json`` is the last artifact written — its presence
+        marks the job done, its absence means "resume from the store".
+        """
+        store = ResultStore(self.job_dir(job_id))
+        try:
+            runner = JobRunner(
+                manifest,
+                store,
+                workers=self.config.workers,
+                task_timeout=self.config.task_timeout,
+                progress=self.progress,
+            )
+            self._active_job = job_id
+            result = runner.run()
+            code = result.exit_code()
+            doc = {
+                "v": 1,
+                "job": job_id,
+                "exit_code": code,
+                "result": result.to_dict(),
+            }
+            tmp = self.result_path(job_id) + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump(doc, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.result_path(job_id))
+            return code
+        finally:
+            self._active_job = None
+            store.close()
+
+    def stored_exit_code(self, job_id: str) -> Optional[int]:
+        """Exit code of a finished job, from its ``result.json``."""
+        try:
+            with open(self.result_path(job_id)) as fh:
+                return int(json.load(fh)["exit_code"])
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _drain(self) -> Optional[int]:
+        """One spool pass; returns the worst exit code seen, or ``None``
+        when the spool was empty."""
+        worst: Optional[int] = None
+        for job_id, manifest in self.spooled():
+            if self.job_done(job_id):
+                code = self.stored_exit_code(job_id)
+            else:
+                code = self.run_job(job_id, manifest)
+            if code is not None:
+                worst = code if worst is None else max(worst, code)
+        return worst
+
+    def serve(self) -> int:
+        """The serve loop.  ``--once``: drain the spool and return the
+        worst job exit code (0 for an empty spool).  Otherwise: serve
+        until SIGINT/SIGTERM, then return 0 on clean shutdown."""
+        self._install_signal_handlers()
+        server: Optional[StatusServer] = None
+        if self.config.http_port is not None:
+            server = StatusServer(
+                self.status,
+                host=self.config.http_host,
+                port=self.config.http_port,
+            ).start()
+            host, port = server.address
+            tmp = self.address_path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(f"{host} {port}\n")
+            os.replace(tmp, self.address_path)
+            print(
+                f"status endpoint: http://{host}:{port}/status "
+                f"(also in {self.address_path})",
+                file=sys.stderr,
+            )
+        try:
+            if self.config.once:
+                worst = self._drain()
+                return 0 if worst is None else worst
+            while True:
+                try:
+                    self._drain()
+                    time.sleep(self.config.poll_seconds)
+                except KeyboardInterrupt:
+                    return 0
+        finally:
+            if server is not None:
+                server.close()
+            try:
+                os.unlink(self.address_path)
+            except OSError:
+                pass
+
+    def _install_signal_handlers(self) -> None:
+        """SIGTERM behaves like SIGINT (clean shutdown) when we own the
+        main thread; under a test harness's worker thread, skip."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+        def _terminate(signum: int, frame: object) -> None:
+            raise KeyboardInterrupt
+        signal.signal(signal.SIGTERM, _terminate)
+
+    # -- status --------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """The live status payload (served at ``GET /status``).
+
+        Re-reads every job's store from disk so a poller sees hunts the
+        moment their lines land, not when the job finishes.  Store-load
+        warnings (a torn tail mid-campaign) are suppressed here — the
+        *runner* owns reporting them; a status probe must stay silent.
+        """
+        jobs: List[Dict[str, object]] = []
+        for job_id, manifest in self.spooled():
+            jobs.append(self._job_entry(job_id, manifest))
+        return {
+            "v": 1,
+            "service": {
+                "root": self.config.root,
+                "workers": self.config.workers,
+                "pid": os.getpid(),
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "active_job": self._active_job,
+            },
+            "jobs": jobs,
+            "telemetry": telemetry.get_telemetry().snapshot(),
+        }
+
+    def _job_entry(
+        self, job_id: str, manifest: CampaignManifest
+    ) -> Dict[str, object]:
+        if job_id == self._active_job:
+            state = "running"
+        elif self.job_done(job_id):
+            state = "done"
+        else:
+            state = "queued"
+        summary: Dict[str, object] = {}
+        if os.path.isdir(self.job_dir(job_id)):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                store = ResultStore(self.job_dir(job_id))
+                try:
+                    summary = store.summary()
+                finally:
+                    store.close()
+        return {
+            "id": job_id,
+            "name": manifest.name,
+            "state": state,
+            "shards": {
+                "total": len(manifest.shards()),
+                "done": summary.get("shards_done", 0),
+            },
+            "hunts": {
+                "total": manifest.hunt_count(),
+                "recorded": summary.get("hunts_recorded", 0),
+                "detected": summary.get("hunts_detected", 0),
+                "hung": summary.get("hunts_hung", 0),
+            },
+            "dedup_buckets": summary.get("dedup_buckets", 0),
+            "exit_code": self.stored_exit_code(job_id),
+        }

@@ -1,0 +1,157 @@
+"""The shard scheduler: pending-work computation and pool dispatch.
+
+A :class:`JobRunner` turns one manifest + store pair into pool work:
+it asks the store which hunts are still unrecorded (whole shards, or
+the tail of a shard torn by a crash), dispatches exactly those to
+:func:`repro.analysis.pool.run_tasks` — the same worker pool, task
+function and per-hunt seed derivation a one-shot ``run_campaign``
+uses — and persists every hunt the moment it completes via the pool's
+``on_result`` streaming callback.  A shard's completion marker is
+appended as soon as its last hunt lands, so the crash-loss window is
+only the hunts literally in flight; everything recorded before a
+``SIGKILL`` is reused on resume.
+
+The merged :class:`~repro.analysis.campaign.CampaignResult` is
+assembled from the store in manifest shard order (seed-major, then CPU,
+then bug index), which for a single-seed manifest is exactly
+``run_campaign``'s hunt order — tables, detection rate and exit code
+match a from-scratch campaign of the same settings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.analysis.campaign import (
+    BugHunt,
+    CampaignConfig,
+    CampaignResult,
+    _hunt_task,
+)
+from repro.analysis.pool import PoolStats, ProgressFn, run_tasks
+from repro.service.manifest import CampaignManifest, Shard
+from repro.service.store import ResultStore
+from repro.sim.cpus import BugSpec, cpu_by_name
+
+
+class JobRunner:
+    """Run (or resume) one job: manifest in, persisted hunts out."""
+
+    def __init__(
+        self,
+        manifest: CampaignManifest,
+        store: ResultStore,
+        *,
+        workers: int = 1,
+        task_timeout: Optional[float] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.manifest = manifest
+        self.store = store
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.progress = progress
+        store.save_manifest(manifest)
+
+    # -- scheduling ----------------------------------------------------
+
+    def pending(self) -> List[Tuple[Shard, List[int]]]:
+        """Shards still lacking a done marker, with their missing hunts."""
+        return self.store.pending(self.manifest)
+
+    def complete(self) -> bool:
+        """True when every shard's completion marker is on disk."""
+        return not self.pending()
+
+    def run(self) -> CampaignResult:
+        """Execute all pending hunts; return the merged job result.
+
+        Safe to call on a fresh store (runs everything), a torn store
+        (runs only what is missing) and a complete store (runs nothing
+        and just merges).  A hunt whose worker hung is recorded as a
+        ``hung=True`` hunt — exactly :func:`run_campaign`'s accounting —
+        so the job still completes and reports exit code 2.
+        """
+        refs: List[Tuple[Shard, int]] = []
+        tasks: List[Tuple[BugSpec, str, CampaignConfig, int]] = []
+        labels: List[str] = []
+        remaining: Dict[str, int] = {}
+        for shard, missing in self.pending():
+            remaining[shard.shard_id] = len(missing)
+            if not missing:
+                # Every hunt landed but the marker was torn away by a
+                # crash: the shard just needs its marker re-appended.
+                self.store.mark_shard_done(shard.shard_id)
+                remaining.pop(shard.shard_id)
+                continue
+            config = self.manifest.campaign_config(shard.seed)
+            bugs = cpu_by_name(shard.cpu).bugs
+            for index in missing:
+                refs.append((shard, index))
+                tasks.append((bugs[index], shard.cpu, config, index))
+                labels.append(f"{shard.shard_id[:8]}:{bugs[index].name}")
+
+        def persist(task_index: int, hunt: BugHunt) -> None:
+            shard, bug_index = refs[task_index]
+            self.store.record_hunt(shard.shard_id, bug_index, hunt)
+            remaining[shard.shard_id] -= 1
+            if remaining[shard.shard_id] == 0:
+                self.store.mark_shard_done(shard.shard_id)
+
+        stats: Optional[PoolStats] = None
+        if tasks:
+            with telemetry.span(
+                "service.job", job=self.manifest.job_id, hunts=len(tasks)
+            ):
+                results, stats = run_tasks(
+                    _hunt_task,
+                    tasks,
+                    workers=self.workers,
+                    task_timeout=self.task_timeout,
+                    labels=labels,
+                    progress=self.progress,
+                    on_result=persist,
+                )
+            # Hung hunts never reach on_result; record them with the
+            # campaign's hung accounting so the shard (and job) resolve.
+            for task_index, value in enumerate(results):
+                if value is not None:
+                    continue
+                shard, bug_index = refs[task_index]
+                spec = tasks[task_index][0]
+                persist(task_index, BugHunt(
+                    spec=spec, cpu=shard.cpu, detected=False, tests_run=0,
+                    via="worker crashed or timed out", hung=True,
+                ))
+        return self.merged(stats=stats)
+
+    # -- merging -------------------------------------------------------
+
+    def merged(self, stats: Optional[PoolStats] = None) -> CampaignResult:
+        """Assemble the job's result from the store, in manifest order.
+
+        Raises ``ValueError`` while hunts are still missing — a partial
+        merge would silently understate the tables.  Timing fields
+        reflect only the session that ran last (a resumed job's earlier
+        sessions are gone with their processes); the tables, detection
+        rate and exit code depend only on the persisted hunts.
+        """
+        hunts: List[BugHunt] = []
+        for shard in self.manifest.shards():
+            recorded = self.store.completed_hunts(shard.shard_id)
+            for index in range(shard.hunt_count()):
+                hunt = recorded.get(index)
+                if hunt is None:
+                    raise ValueError(
+                        f"shard {shard.shard_id} hunt {index} is not "
+                        "recorded yet; run() the job before merging"
+                    )
+                hunts.append(hunt)
+        return CampaignResult(
+            hunts=hunts,
+            wall_seconds=stats.wall_seconds if stats else 0.0,
+            cpu_seconds=stats.cpu_seconds if stats else 0.0,
+            stats=stats,
+            sched=self.manifest.sched.describe(),
+        )

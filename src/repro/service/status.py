@@ -1,0 +1,129 @@
+"""The live status endpoint: a stdlib HTTP JSON API over service state.
+
+A :class:`StatusServer` wraps ``http.server.ThreadingHTTPServer`` in a
+daemon thread and serves read-only JSON built from a ``state_fn`` the
+daemon supplies — every request re-evaluates it, so responses always
+reflect the store on disk rather than a cached view.  Routes:
+
+* ``GET /healthz``  — liveness probe, ``{"ok": true}``.
+* ``GET /status``   — the full service payload (service block, jobs
+  list, telemetry snapshot; see ``CampaignService.status``).
+* ``GET /jobs``     — just the jobs list.
+* ``GET /jobs/<id>``— one job entry, 404 if unknown.
+* ``GET /metrics``  — the process telemetry snapshot stamped in the
+  v1 telemetry schema's ``snapshot`` shape, so the same tooling that
+  reads ``TSOTOOL_METRICS_OUT`` files can parse it.
+
+Binding port 0 (the default) lets the OS pick a free port; the chosen
+address is available as :attr:`StatusServer.address` after ``start()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import telemetry
+
+StateFn = Callable[[], Dict[str, object]]
+
+
+def _metrics_snapshot() -> Dict[str, object]:
+    """The process's telemetry totals in the v1 ``snapshot`` line shape."""
+    snap = telemetry.get_telemetry().snapshot()
+    doc: Dict[str, object] = {
+        "v": 1,
+        "kind": "snapshot",
+        "name": "snapshot",
+        "ts": time.time(),
+        "pid": os.getpid(),
+    }
+    doc.update(snap)
+    return doc
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per-server via the factory in StatusServer.__init__.
+    state_fn: StateFn
+
+    server_version = "tsotool-service/1"
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr noise; telemetry counts instead."""
+
+    def _send(self, code: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if telemetry.get_telemetry().enabled:
+            telemetry.count("service.http_requests")
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                self._send(200, {"ok": True})
+            elif path == "/status":
+                self._send(200, self.state_fn())
+            elif path == "/metrics":
+                self._send(200, _metrics_snapshot())
+            elif path == "/jobs":
+                state = self.state_fn()
+                self._send(200, {"jobs": state.get("jobs", [])})
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                state = self.state_fn()
+                for entry in state.get("jobs", []):  # type: ignore[union-attr]
+                    if entry.get("id") == job_id:
+                        self._send(200, entry)
+                        return
+                self._send(404, {"error": f"unknown job {job_id!r}"})
+            else:
+                self._send(404, {"error": f"unknown path {path!r}"})
+        except BrokenPipeError:
+            pass  # client went away mid-response; nothing to salvage
+
+
+class StatusServer:
+    """Serve live service state over HTTP from a background thread."""
+
+    def __init__(
+        self,
+        state_fn: StateFn,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        handler = type("BoundHandler", (_Handler,), {"state_fn": staticmethod(state_fn)})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — resolved even when port 0 was asked."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "StatusServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="tsotool-status",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

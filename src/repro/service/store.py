@@ -1,0 +1,376 @@
+"""The persistent result store: append-only, crash-safe, resumable.
+
+One store holds one job's results, as **JSONL-per-shard** under the job
+directory::
+
+    <job>/manifest.json             # the job's manifest document
+    <job>/shards/<shard_id>.jsonl   # one line per completed hunt + marker
+    <job>/buckets.jsonl             # failure-dedup bucket records
+
+Every line is appended with a single ``write(2)`` on an ``O_APPEND``
+descriptor (the :class:`repro.telemetry.sinks.JsonlSink` discipline), so
+a ``SIGKILL`` can at worst tear the *trailing* line of a file; the
+loader skips an undecodable line with a warning and the affected hunt is
+simply re-run on resume.  Nothing is ever rewritten in place — a
+restarted daemon re-reads the store and resumes exactly at the first
+unfinished shard, never re-spending budget on a recorded hunt.
+
+Line kinds::
+
+    {"v":1,"kind":"hunt","shard":id,"bug":name,"bug_index":i,
+     "digest":<hunt digest>,"dedup":<failure digest or null>,
+     "hunt":{...BugHunt.to_dict()...}}
+    {"v":1,"kind":"shard-done","shard":id,"hunts":n}
+    {"v":1,"kind":"bucket","digest":d,"shard":id,"bug":name,"first":bool}
+
+**Failure dedup** (Bui et al.'s reads-from equivalence, applied at the
+detection level): a detected hunt is keyed by :func:`failure_digest` —
+a digest of its schedule trace (policy + every recorded choice), the
+triage verdict string (which names the violation kind and witness
+shape) and the fault mechanism/unit.  The first detection with a given
+digest keeps its full schedule trace; behaviorally identical later
+detections are *bucketed*: their hunt line stores ``schedule: null``
+plus the digest, and :meth:`ResultStore.schedule_for` resolves the
+canonical trace, so a fleet never re-triages the same failure twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro import telemetry
+from repro.analysis.campaign import BugHunt
+from repro.service.manifest import CampaignManifest, Shard
+
+STORE_VERSION = 1
+
+
+def _canonical(data: object) -> str:
+    return json.dumps(data, separators=(",", ":"), sort_keys=True)
+
+
+def hunt_digest(hunt: BugHunt) -> str:
+    """Stable identity+outcome digest of one hunt (schedule excluded).
+
+    Excluding the schedule keeps the digest equal between a stored hunt
+    whose duplicate schedule was bucketed away and the identical hunt of
+    a from-scratch campaign — the property the resume tests assert by
+    digest-set equality.
+    """
+    doc = hunt.to_dict()
+    doc.pop("schedule", None)
+    return hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()[:16]
+
+
+def failure_digest(hunt: BugHunt) -> Optional[str]:
+    """Behavioral digest of a detection; ``None`` for undetected hunts.
+
+    Keyed on (schedule trace, violation kind / witness shape via the
+    triage verdict string, fault mechanism and unit): two detections
+    that replayed the same choices into the same verdict are the same
+    failure, whatever seed found them.
+    """
+    if not hunt.detected or hunt.schedule is None:
+        return None
+    doc = json.loads(hunt.schedule)
+    meta = doc.get("meta") or {}
+    fault = meta.get("fault") or {}
+    payload = {
+        "policy": doc.get("policy"),
+        "choices": doc.get("choices", []),
+        "via": hunt.via,
+        "mechanism": fault.get("mechanism"),
+        "unit": fault.get("unit"),
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class _ShardState:
+    """In-memory view of one shard's JSONL file."""
+
+    hunts: Dict[int, BugHunt] = field(default_factory=dict)
+    digests: Dict[int, str] = field(default_factory=dict)
+    done: bool = False
+
+
+@dataclass
+class _Bucket:
+    """One failure-dedup bucket: where the canonical trace lives."""
+
+    shard_id: str
+    bug_index: int
+    count: int = 1
+
+
+class ResultStore:
+    """One job's persistent results (see module doc for the layout)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.shards_dir = os.path.join(root, "shards")
+        os.makedirs(self.shards_dir, exist_ok=True)
+        self._shards: Dict[str, _ShardState] = {}
+        self._buckets: Dict[str, _Bucket] = {}
+        self._fds: Dict[str, int] = {}
+        self._load()
+
+    # -- paths and I/O -------------------------------------------------
+
+    def _shard_path(self, shard_id: str) -> str:
+        return os.path.join(self.shards_dir, f"{shard_id}.jsonl")
+
+    @property
+    def _buckets_path(self) -> str:
+        return os.path.join(self.root, "buckets.jsonl")
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, "manifest.json")
+
+    def _append(self, path: str, doc: Dict[str, object]) -> None:
+        """One line, one ``write(2)``, ``O_APPEND`` — the crash-safety
+        contract: a kill can tear only the trailing line."""
+        fd = self._fds.get(path)
+        if fd is None:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            self._fds[path] = fd
+        doc.setdefault("v", STORE_VERSION)
+        os.write(fd, (_canonical(doc) + "\n").encode("utf-8"))
+
+    def close(self) -> None:
+        for fd in self._fds.values():
+            os.close(fd)
+        self._fds.clear()
+
+    @staticmethod
+    def _read_jsonl(path: str) -> Iterable[Dict[str, object]]:
+        """Yield decodable lines; a truncated/corrupt line (a torn tail
+        from a killed writer) is skipped with a warning, never fatal."""
+        try:
+            with open(path) as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                    except json.JSONDecodeError:
+                        warnings.warn(
+                            f"{path}:{lineno}: skipping corrupt store line "
+                            "(torn append from a killed writer?); the "
+                            "affected hunt will be re-run on resume",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    if isinstance(doc, dict):
+                        yield doc
+        except FileNotFoundError:
+            return
+
+    # -- loading -------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            names = sorted(os.listdir(self.shards_dir))
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            shard_id = name[: -len(".jsonl")]
+            state = self._shards.setdefault(shard_id, _ShardState())
+            for doc in self._read_jsonl(self._shard_path(shard_id)):
+                kind = doc.get("kind")
+                if kind == "hunt":
+                    try:
+                        hunt = BugHunt.from_dict(doc["hunt"])  # type: ignore[arg-type]
+                        index = int(doc["bug_index"])  # type: ignore[arg-type]
+                    except (KeyError, TypeError, ValueError) as exc:
+                        warnings.warn(
+                            f"{self._shard_path(shard_id)}: undecodable "
+                            f"hunt record ({exc}); it will be re-run",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    state.hunts[index] = hunt
+                    state.digests[index] = str(doc.get("digest", ""))
+                elif kind == "shard-done":
+                    state.done = True
+        for doc in self._read_jsonl(self._buckets_path):
+            if doc.get("kind") != "bucket":
+                continue
+            digest = str(doc.get("digest", ""))
+            bucket = self._buckets.get(digest)
+            if bucket is None:
+                self._buckets[digest] = _Bucket(
+                    shard_id=str(doc.get("shard", "")),
+                    bug_index=int(doc.get("bug_index", -1)),  # type: ignore[arg-type]
+                )
+            else:
+                bucket.count += 1
+
+    # -- manifest ------------------------------------------------------
+
+    def save_manifest(self, manifest: CampaignManifest) -> None:
+        """Persist the job's manifest (idempotent; atomic replace)."""
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(manifest.to_json() + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def load_manifest(self) -> CampaignManifest:
+        return CampaignManifest.load(self.manifest_path)
+
+    # -- recording -----------------------------------------------------
+
+    def record_hunt(
+        self, shard_id: str, bug_index: int, hunt: BugHunt
+    ) -> Tuple[str, Optional[str]]:
+        """Append one completed hunt; returns ``(hunt digest, dedup)``.
+
+        A detected hunt whose :func:`failure_digest` is already
+        bucketed is stored *without* its schedule trace (``dedup``
+        names the bucket instead) — the canonical trace stays with the
+        bucket's first occurrence.  Recording the same (shard, bug)
+        twice is a scheduler bug and raises — the store never silently
+        double-spends campaign budget.
+        """
+        state = self._shards.setdefault(shard_id, _ShardState())
+        if bug_index in state.hunts:
+            raise ValueError(
+                f"hunt {bug_index} of shard {shard_id} is already "
+                "recorded; refusing to re-record a completed hunt"
+            )
+        digest = hunt_digest(hunt)
+        dedup = failure_digest(hunt)
+        stored = hunt
+        if dedup is not None:
+            bucket = self._buckets.get(dedup)
+            if bucket is None:
+                self._buckets[dedup] = _Bucket(
+                    shard_id=shard_id, bug_index=bug_index
+                )
+            else:
+                bucket.count += 1
+                stored = BugHunt(
+                    spec=hunt.spec, cpu=hunt.cpu, detected=hunt.detected,
+                    tests_run=hunt.tests_run,
+                    detected_on_seed=hunt.detected_on_seed,
+                    via=hunt.via, hung=hunt.hung, schedule=None,
+                )
+                telemetry.count("service.dedup_hits")
+            self._append(self._buckets_path, {
+                "kind": "bucket", "digest": dedup, "shard": shard_id,
+                "bug": hunt.spec.name, "bug_index": bug_index,
+                "first": stored is hunt,
+            })
+        self._append(self._shard_path(shard_id), {
+            "kind": "hunt", "shard": shard_id, "bug": hunt.spec.name,
+            "bug_index": bug_index, "digest": digest,
+            "dedup": None if stored is hunt else dedup,
+            "hunt": stored.to_dict(),
+        })
+        state.hunts[bug_index] = stored
+        state.digests[bug_index] = digest
+        telemetry.count("service.hunts")
+        if hunt.detected:
+            telemetry.count("service.detections")
+        return digest, None if stored is hunt else dedup
+
+    def mark_shard_done(self, shard_id: str) -> None:
+        """Append the completion marker — the resume boundary."""
+        state = self._shards.setdefault(shard_id, _ShardState())
+        self._append(self._shard_path(shard_id), {
+            "kind": "shard-done", "shard": shard_id,
+            "hunts": len(state.hunts),
+        })
+        state.done = True
+        telemetry.count("service.shards_completed")
+
+    # -- queries -------------------------------------------------------
+
+    def completed_hunts(self, shard_id: str) -> Dict[int, BugHunt]:
+        """Recorded hunts of one shard, keyed by bug index."""
+        state = self._shards.get(shard_id)
+        return dict(state.hunts) if state else {}
+
+    def shard_done(self, shard_id: str) -> bool:
+        """True once the shard's completion marker is on disk."""
+        state = self._shards.get(shard_id)
+        return bool(state and state.done)
+
+    def hunt_digests(self) -> Set[str]:
+        """Every recorded hunt's digest — the resume-equality witness."""
+        out: Set[str] = set()
+        for state in self._shards.values():
+            out.update(state.digests.values())
+        return out
+
+    def buckets(self) -> Dict[str, int]:
+        """Failure-dedup bucket sizes, keyed by failure digest."""
+        return {d: b.count for d, b in self._buckets.items()}
+
+    def schedule_for(self, digest: str) -> Optional[str]:
+        """The canonical schedule trace of a dedup bucket, if stored."""
+        bucket = self._buckets.get(digest)
+        if bucket is None:
+            return None
+        hunt = self._shards.get(bucket.shard_id, _ShardState()).hunts.get(
+            bucket.bug_index
+        )
+        return None if hunt is None else hunt.schedule
+
+    def pending(
+        self, manifest: CampaignManifest
+    ) -> List[Tuple[Shard, List[int]]]:
+        """Work left to run: shards without a done marker, with exactly
+        the bug indices not yet recorded (completed hunts of a torn
+        shard are reused, never re-run)."""
+        out: List[Tuple[Shard, List[int]]] = []
+        for shard in manifest.shards():
+            if self.shard_done(shard.shard_id):
+                continue
+            recorded = self.completed_hunts(shard.shard_id)
+            missing = [
+                i for i in range(shard.hunt_count()) if i not in recorded
+            ]
+            out.append((shard, missing))
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-safe progress summary (feeds the status endpoint)."""
+        recorded = detected = hung = shards_done = 0
+        per_shard: Dict[str, object] = {}
+        for shard_id in sorted(self._shards):
+            state = self._shards[shard_id]
+            n_det = sum(1 for h in state.hunts.values() if h.detected)
+            n_hung = sum(1 for h in state.hunts.values() if h.hung)
+            recorded += len(state.hunts)
+            detected += n_det
+            hung += n_hung
+            shards_done += int(state.done)
+            per_shard[shard_id] = {
+                "recorded": len(state.hunts),
+                "detected": n_det,
+                "hung": n_hung,
+                "done": state.done,
+            }
+        return {
+            "shards": per_shard,
+            "shards_done": shards_done,
+            "hunts_recorded": recorded,
+            "hunts_detected": detected,
+            "hunts_hung": hung,
+            "dedup_buckets": len(self._buckets),
+            "dedup_hits": sum(
+                b.count - 1 for b in self._buckets.values()
+            ),
+        }

@@ -114,6 +114,71 @@ class TestCampaignTables:
         assert small_campaign.stats.completed == len(small_campaign.hunts)
 
 
+class TestSerialization:
+    """Satellite: stable round-trip dicts; derived rows are recomputed."""
+
+    def test_bug_hunt_round_trip(self):
+        hunt = hunt_bug(cpu_by_name("CPU1").bugs[0], "CPU1", FAST, 0)
+        back = BugHunt.from_dict(hunt.to_dict())
+        assert back == hunt
+        # Derived properties are recomputed, never stored.
+        assert back.unit is hunt.unit
+        assert back.bug_class is hunt.bug_class
+        assert "unit" not in hunt.to_dict()
+
+    def test_bug_hunt_dict_is_json_safe(self):
+        import json
+
+        hunt = hunt_bug(cpu_by_name("CPU1").bugs[0], "CPU1", FAST, 0)
+        assert json.loads(json.dumps(hunt.to_dict())) == hunt.to_dict()
+
+    def test_campaign_result_round_trip(self):
+        result = run_campaign(cpus=[cpu_by_name("CPU1")], config=FAST)
+        back = CampaignResult.from_dict(result.to_dict())
+        assert back.hunts == result.hunts
+        assert back.wall_seconds == result.wall_seconds
+        assert back.cpu_seconds == result.cpu_seconds
+        assert back.sched == result.sched
+        assert back.stats == result.stats
+        # Tables and exit code come out identical because they are
+        # derived from the hunts on both sides.
+        assert format_table1(back) == format_table1(result)
+        assert format_table2(back) == format_table2(result)
+        assert back.exit_code() == result.exit_code()
+        assert back.detection_line() == result.detection_line()
+
+    def test_campaign_result_without_stats(self):
+        result = CampaignResult(hunts=[])
+        back = CampaignResult.from_dict(result.to_dict())
+        assert back.stats is None
+
+
+class TestExitCode:
+    def test_all_detected_is_zero(self):
+        result = run_campaign(cpus=[cpu_by_name("CPU1")], config=FAST)
+        assert result.exit_code() == 0
+
+    def test_missed_is_one(self):
+        dud = BugSpec(
+            name="dud", mechanism=StaleForwardFault,
+            unit=FuncUnit.LSU, bug_class=BugClass.DESIGN, rate=0.0,
+        )
+        hunt = hunt_bug(dud, "CPUX", CampaignConfig(tests_per_bug=1))
+        assert CampaignResult(hunts=[hunt]).exit_code() == 1
+
+    def test_hung_is_two_even_with_misses(self):
+        dud = BugSpec(
+            name="dud", mechanism=StaleForwardFault,
+            unit=FuncUnit.LSU, bug_class=BugClass.DESIGN, rate=0.0,
+        )
+        missed = hunt_bug(dud, "CPUX", CampaignConfig(tests_per_bug=1))
+        hung = BugHunt(
+            spec=dud, cpu="CPUX", detected=False, tests_run=0,
+            via="worker crashed or timed out", hung=True,
+        )
+        assert CampaignResult(hunts=[missed, hung]).exit_code() == 2
+
+
 class TestParallelCampaign:
     def test_workers4_hunt_for_hunt_identical_to_sequential(self):
         # The seed-determinism contract: every BugHunt record — spec,

@@ -12,7 +12,11 @@ import os
 import sys
 import time
 
+import pytest
+
+from repro import telemetry
 from repro.analysis.pool import _mp_context, run_tasks
+from repro.telemetry import MemorySink
 
 
 def _raise(task):
@@ -26,6 +30,10 @@ def _faulty(task):
         raise ValueError("boom")
     if kind == "exit":
         sys.exit(1)
+    if kind == "die":
+        # A real worker death: sys.exit would be caught and reported as
+        # an in-worker error; only _exit leaves the parent a dead pipe.
+        os._exit(1)
     if kind == "close":
         # Sever the worker's pipe to the parent, then stay alive: the
         # parent sees EOF on a conn whose process is still running.
@@ -136,6 +144,106 @@ class TestBrokenPipe:
             if child.is_alive():
                 child.kill()
                 child.join(timeout=5)
+
+
+class TestRespawnAccounting:
+    """A worker death is visible: PoolStats.respawns + pool.respawns."""
+
+    def test_worker_death_counts_respawns(self):
+        tasks = [("ok", 2), ("die", 0)]
+        _, stats = run_tasks(_faulty, tasks, workers=2)
+        assert stats.respawns >= 1
+        assert "respawn" in stats.throughput_line()
+
+    def test_in_worker_error_is_not_a_respawn(self):
+        # sys.exit / raise are reported over the pipe; the worker lives.
+        _, stats = run_tasks(_faulty, [("ok", 2), ("exit", 0)], workers=2)
+        assert stats.respawns == 0
+
+    def test_clean_batch_has_no_respawns(self):
+        _, stats = run_tasks(_faulty, [("ok", 2), ("ok", 3)], workers=2)
+        assert stats.respawns == 0
+        assert "respawn" not in stats.throughput_line()
+
+    def test_inline_path_never_respawns(self):
+        _, stats = run_tasks(_raise, [1, 2], workers=1)
+        assert stats.respawns == 0
+
+    def test_timeout_kill_counts_as_respawn(self):
+        tasks = [("ok", 2), ("sleep", 0)]
+        _, stats = run_tasks(_faulty, tasks, workers=2, task_timeout=0.5)
+        assert stats.respawns >= 1
+
+    def test_respawns_reach_the_telemetry_counter(self):
+        telemetry.configure(sinks=[MemorySink()])
+        try:
+            run_tasks(_faulty, [("die", 0)], workers=2)
+            counters = telemetry.get_telemetry().snapshot()["counters"]
+            assert counters.get("pool.respawns", 0) >= 1
+        finally:
+            telemetry.reset()
+
+    def test_respawns_round_trip_through_to_dict(self):
+        _, stats = run_tasks(_faulty, [("die", 0)], workers=2)
+        from repro.core.result import PoolStats
+
+        back = PoolStats.from_dict(stats.to_dict())
+        assert back.respawns == stats.respawns >= 1
+
+
+class TestOnResult:
+    """The streaming callback: every success, in the parent, no hungs."""
+
+    def test_inline_streams_in_completion_order(self):
+        seen = []
+        results, _ = run_tasks(
+            _faulty, [("ok", 2), ("ok", 3)], workers=1,
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert seen == [(0, 4), (1, 9)]
+        assert results == [4, 9]
+
+    def test_pool_streams_every_success(self):
+        seen = []
+        tasks = [("ok", n) for n in range(5)]
+        results, _ = run_tasks(
+            _faulty, tasks, workers=2,
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert sorted(seen) == [(i, n * n) for i, (_, n) in enumerate(tasks)]
+        assert results == [n * n for _, n in tasks]
+
+    def test_hung_tasks_never_reach_on_result(self):
+        seen = []
+        tasks = [("ok", 2), ("raise", 0), ("ok", 3)]
+        run_tasks(
+            _faulty, tasks, workers=1,
+            on_result=lambda i, v: seen.append(i),
+        )
+        assert seen == [0, 2]
+
+    def test_pool_hung_tasks_never_reach_on_result(self):
+        seen = []
+        tasks = [("ok", 2), ("exit", 0)]
+        run_tasks(
+            _faulty, tasks, workers=2,
+            on_result=lambda i, v: seen.append(i),
+        )
+        assert seen == [0]
+
+    def test_callback_exception_aborts_the_batch(self):
+        def boom(index, value):
+            raise RuntimeError("sink failed")
+
+        with pytest.raises(RuntimeError, match="sink failed"):
+            run_tasks(_faulty, [("ok", 2)], workers=1, on_result=boom)
+
+    def test_callback_exception_aborts_the_pool_batch(self):
+        def boom(index, value):
+            raise RuntimeError("sink failed")
+
+        with pytest.raises(RuntimeError, match="sink failed"):
+            run_tasks(_faulty, [("ok", 2)], workers=2, on_result=boom)
 
 
 class TestProgressAccounting:

@@ -1,0 +1,128 @@
+"""End-to-end kill/resume test for the campaign service.
+
+The acceptance scenario: a multi-shard manifest survives a SIGKILL of
+the daemon mid-campaign, resumes without re-running completed hunts,
+reports live progress over the status endpoint while running, and the
+merged result is identical to a from-scratch run of the same manifest.
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.service.manifest import CampaignManifest
+from repro.service.queue import JobRunner
+from repro.service.store import ResultStore
+
+
+def make_manifest():
+    # Several shards with a non-trivial hunt count each, so the daemon
+    # is reliably mid-campaign when the kill lands.
+    return CampaignManifest(
+        name="e2e", seeds=(1, 2, 3, 4), cpus=("CPU1",), tests_per_bug=8
+    )
+
+
+def hunt_lines(root):
+    """All persisted hunt records across every shard file."""
+    out = []
+    for path in glob.glob(os.path.join(root, "jobs", "*", "shards", "*.jsonl")):
+        with open(path) as fh:
+            for line in fh:
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # the torn line the kill may have left
+                if doc.get("kind") == "hunt":
+                    out.append((doc["shard"], doc["bug_index"]))
+    return out
+
+
+@pytest.mark.slow
+class TestKillResume:
+    def test_sigkill_mid_campaign_then_resume(self, tmp_path):
+        root = str(tmp_path / "svc")
+        manifest_path = str(tmp_path / "m.json")
+        m = make_manifest()
+        m.save(manifest_path)
+        assert main(["submit", manifest_path, "--root", root]) == 0
+
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--root", root],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait until the campaign is demonstrably mid-flight: at
+            # least two hunts persisted but not all of them.
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if len(hunt_lines(root)) >= 2:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("daemon never persisted any hunts")
+
+            # Live progress over the status endpoint while running.
+            with open(os.path.join(root, "status.address")) as fh:
+                host, port = fh.read().split()
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/status", timeout=10
+            ) as resp:
+                payload = json.load(resp)
+            [job] = payload["jobs"]
+            assert job["id"] == m.job_id
+            assert job["hunts"]["recorded"] >= 2
+
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+
+        prekill = hunt_lines(root)
+        assert 2 <= len(prekill) < m.hunt_count(), (
+            "kill did not land mid-campaign; tune the manifest size"
+        )
+
+        # Resume in-process; the run would raise on any duplicate
+        # record, and exit 0 means every seeded bug was detected.
+        assert main(["serve", "--root", root, "--once", "--no-http"]) == 0
+
+        # No hunt executed twice: every (shard, bug) appears exactly
+        # once across the whole store, and everything recorded before
+        # the kill is still there.
+        final = hunt_lines(root)
+        assert len(final) == len(set(final)) == m.hunt_count()
+        assert set(prekill) <= set(final)
+
+        # Merged result identical to a from-scratch run: digest-set
+        # equality plus table/exit-code agreement via result.json.
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resumed = ResultStore(os.path.join(root, "jobs", m.job_id))
+        scratch = ResultStore(str(tmp_path / "scratch"))
+        scratch_result = JobRunner(m, scratch).run()
+        assert resumed.hunt_digests() == scratch.hunt_digests()
+
+        with open(os.path.join(root, "jobs", m.job_id, "result.json")) as fh:
+            doc = json.load(fh)
+        from repro.analysis.campaign import (
+            CampaignResult,
+            format_table1,
+            format_table2,
+        )
+        merged = CampaignResult.from_dict(doc["result"])
+        assert doc["exit_code"] == scratch_result.exit_code()
+        assert format_table1(merged) == format_table1(scratch_result)
+        assert format_table2(merged) == format_table2(scratch_result)
+        assert merged.detection_line() == scratch_result.detection_line()

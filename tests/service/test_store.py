@@ -1,0 +1,198 @@
+"""Tests for the crash-safe result store: recording, dedup, recovery."""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.analysis.campaign import BugHunt
+from repro.sched.spec import SchedSpec
+from repro.sched.trace import ScheduleTrace
+from repro.service.manifest import CampaignManifest
+from repro.service.store import ResultStore, failure_digest, hunt_digest
+from repro.sim.cpus import cpu_by_name
+
+
+def manifest(**kwargs):
+    defaults = dict(name="s", seeds=(1,), cpus=("CPU1",), tests_per_bug=2)
+    defaults.update(kwargs)
+    return CampaignManifest(**defaults)
+
+
+def make_hunt(bug_index=0, detected=True, schedule=None, via="TSO violation"):
+    spec = cpu_by_name("CPU1").bugs[bug_index]
+    return BugHunt(
+        spec=spec, cpu="CPU1", detected=detected,
+        tests_run=1 if detected else 2,
+        detected_on_seed=11 if detected else None,
+        via=via if detected else "", schedule=schedule,
+    )
+
+
+def make_schedule(choices=(("c", 1),)):
+    trace = ScheduleTrace(policy="random")
+    trace.choices.extend(choices)
+    trace.meta.update({
+        "kind": "hunt",
+        "fault": {"mechanism": "StaleForwardFault", "unit": "LSU"},
+    })
+    return trace.to_json()
+
+
+class TestDigests:
+    def test_hunt_digest_ignores_schedule(self):
+        with_trace = make_hunt(schedule=make_schedule())
+        without = make_hunt(schedule=None)
+        assert hunt_digest(with_trace) == hunt_digest(without)
+
+    def test_hunt_digest_sensitive_to_outcome(self):
+        assert hunt_digest(make_hunt(detected=True)) != \
+            hunt_digest(make_hunt(detected=False))
+
+    def test_failure_digest_none_without_detection_or_trace(self):
+        assert failure_digest(make_hunt(detected=False)) is None
+        assert failure_digest(make_hunt(detected=True, schedule=None)) is None
+
+    def test_failure_digest_keys_on_behavior(self):
+        a = make_hunt(schedule=make_schedule())
+        b = make_hunt(schedule=make_schedule())
+        assert failure_digest(a) == failure_digest(b)
+        different_choices = make_hunt(
+            schedule=make_schedule(choices=(("c", 0),))
+        )
+        assert failure_digest(a) != failure_digest(different_choices)
+        different_verdict = make_hunt(
+            schedule=make_schedule(), via="spurious alarm"
+        )
+        assert failure_digest(a) != failure_digest(different_verdict)
+
+
+class TestRecording:
+    def test_record_and_reload(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        hunt = make_hunt()
+        digest, dedup = store.record_hunt("shard-a", 0, hunt)
+        assert dedup is None
+        store.mark_shard_done("shard-a")
+        store.close()
+
+        fresh = ResultStore(str(tmp_path))
+        assert fresh.completed_hunts("shard-a") == {0: hunt}
+        assert fresh.shard_done("shard-a")
+        assert fresh.hunt_digests() == {digest}
+
+    def test_duplicate_record_raises(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.record_hunt("shard-a", 0, make_hunt())
+        with pytest.raises(ValueError, match="already"):
+            store.record_hunt("shard-a", 0, make_hunt())
+
+    def test_dedup_buckets_identical_detections(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        first = make_hunt(schedule=make_schedule())
+        digest_a, dedup_a = store.record_hunt("shard-a", 0, first)
+        digest_b, dedup_b = store.record_hunt("shard-b", 0, first)
+        assert dedup_a is None              # first occurrence keeps trace
+        assert dedup_b is not None          # duplicate was bucketed
+        assert store.completed_hunts("shard-a")[0].schedule is not None
+        assert store.completed_hunts("shard-b")[0].schedule is None
+        # The stored duplicate digests identically to the original —
+        # the digest excludes the schedule by design.
+        assert digest_a == digest_b
+        assert store.buckets() == {dedup_b: 2}
+        assert store.schedule_for(dedup_b) == first.schedule
+
+    def test_bucket_counts_survive_reload(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        hunt = make_hunt(schedule=make_schedule())
+        store.record_hunt("a", 0, hunt)
+        store.record_hunt("b", 0, hunt)
+        store.record_hunt("c", 0, hunt)
+        store.close()
+        fresh = ResultStore(str(tmp_path))
+        assert list(fresh.buckets().values()) == [3]
+        assert fresh.schedule_for(failure_digest(hunt)) == hunt.schedule
+
+
+class TestCrashRecovery:
+    """Satellite: the store survives a SIGKILL's torn trailing line."""
+
+    def _torn_store(self, tmp_path, keep_bytes=None):
+        """A store with hunts 0 and 1 recorded, then the file torn
+        mid-way through hunt 1's line (no shard-done marker)."""
+        m = manifest()
+        shard = m.shards()[0]
+        store = ResultStore(str(tmp_path))
+        store.record_hunt(shard.shard_id, 0, make_hunt(0))
+        store.record_hunt(shard.shard_id, 1, make_hunt(1))
+        store.close()
+        path = os.path.join(str(tmp_path), "shards",
+                            f"{shard.shard_id}.jsonl")
+        lines = open(path).read().splitlines(True)
+        torn = lines[1][: len(lines[1]) // 2] if keep_bytes is None else \
+            lines[1][:keep_bytes]
+        with open(path, "w") as fh:
+            fh.write(lines[0])
+            fh.write(torn)
+        return m, shard, path
+
+    def test_torn_trailing_line_skipped_with_warning(self, tmp_path):
+        m, shard, path = self._torn_store(tmp_path)
+        with pytest.warns(RuntimeWarning, match="torn append"):
+            store = ResultStore(str(tmp_path))
+        # The intact hunt is kept; only the torn one is lost.
+        assert set(store.completed_hunts(shard.shard_id)) == {0}
+
+    def test_resume_requeues_only_the_torn_hunt(self, tmp_path):
+        m, shard, _ = self._torn_store(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            store = ResultStore(str(tmp_path))
+        pending = store.pending(m)
+        assert [(s.shard_id, missing) for s, missing in pending] == [
+            (shard.shard_id, [1, 2])  # torn hunt 1 + never-run hunt 2
+        ]
+
+    def test_completed_shard_is_never_requeued(self, tmp_path):
+        m = manifest()
+        shard = m.shards()[0]
+        store = ResultStore(str(tmp_path))
+        for i in range(shard.hunt_count()):
+            store.record_hunt(shard.shard_id, i, make_hunt(i))
+        store.mark_shard_done(shard.shard_id)
+        store.close()
+        fresh = ResultStore(str(tmp_path))
+        assert fresh.pending(m) == []
+
+    def test_empty_trailing_junk_is_harmless(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.record_hunt("a", 0, make_hunt())
+        store.close()
+        path = os.path.join(str(tmp_path), "shards", "a.jsonl")
+        with open(path, "a") as fh:
+            fh.write("\n\n{not json")
+        with pytest.warns(RuntimeWarning):
+            fresh = ResultStore(str(tmp_path))
+        assert set(fresh.completed_hunts("a")) == {0}
+
+
+class TestSummary:
+    def test_summary_counts(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.record_hunt("a", 0, make_hunt(0))
+        store.record_hunt("a", 1, make_hunt(1, detected=False))
+        store.mark_shard_done("a")
+        hung = BugHunt(
+            spec=cpu_by_name("CPU1").bugs[0], cpu="CPU1", detected=False,
+            tests_run=0, via="worker crashed or timed out", hung=True,
+        )
+        store.record_hunt("b", 0, hung)
+        summary = store.summary()
+        assert summary["hunts_recorded"] == 3
+        assert summary["hunts_detected"] == 1
+        assert summary["hunts_hung"] == 1
+        assert summary["shards_done"] == 1
+        assert summary["shards"]["a"]["done"] is True
+        assert summary["shards"]["b"]["done"] is False
+        assert json.loads(json.dumps(summary)) == summary  # JSON-safe

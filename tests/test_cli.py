@@ -301,6 +301,92 @@ class TestMinimize:
         assert "cannot minimize" in capsys.readouterr().out
 
 
+class TestServiceVerbs:
+    """submit / serve / status — the campaign-as-a-service flow."""
+
+    @staticmethod
+    def _manifest(tmp_path, **kwargs):
+        from repro.service import CampaignManifest
+
+        defaults = dict(
+            name="cli", seeds=(1,), cpus=("CPU1",), tests_per_bug=4
+        )
+        defaults.update(kwargs)
+        path = tmp_path / "m.json"
+        CampaignManifest(**defaults).save(str(path))
+        return str(path)
+
+    def test_submit_then_serve_once_then_status(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        manifest = self._manifest(tmp_path)
+        assert main(["submit", manifest, "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "submitted cli-" in out and "queued" in out
+
+        assert main(["serve", "--root", root, "--once", "--no-http"]) == 0
+
+        capsys.readouterr()
+        assert main(["status", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "hunts 3/3" in out
+        assert "exit 0" in out
+
+    def test_submit_rejects_bad_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 1, "name": "no spaces allowed"}\n')
+        assert main(["submit", str(bad), "--root", str(tmp_path / "s")]) == 2
+        assert "cannot submit" in capsys.readouterr().err
+
+    def test_submit_rejects_missing_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["submit", missing, "--root", str(tmp_path / "s")]) == 2
+        assert "cannot submit" in capsys.readouterr().err
+
+    def test_status_json_payload(self, tmp_path, capsys):
+        import json
+
+        root = str(tmp_path / "svc")
+        manifest = self._manifest(tmp_path)
+        main(["submit", manifest, "--root", root])
+        main(["serve", "--root", root, "--once", "--no-http"])
+        capsys.readouterr()
+        assert main(["status", "--root", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service"]["live"] is False
+        [job] = payload["jobs"]
+        assert job["state"] == "done"
+        assert job["exit_code"] == 0
+
+    def test_status_without_root_fails(self, tmp_path, capsys):
+        assert main(["status", "--root", str(tmp_path / "absent")]) == 2
+        assert "no service root" in capsys.readouterr().err
+
+    def test_serve_timeout_requires_workers(self, tmp_path, capsys):
+        code = main([
+            "serve", "--root", str(tmp_path / "svc"),
+            "--task-timeout", "5", "--once", "--no-http",
+        ])
+        assert code == 2
+        assert "--task-timeout requires" in capsys.readouterr().err
+
+    def test_serve_once_propagates_worst_exit_code(self, tmp_path, capsys):
+        # tests_per_bug=1 leaves probabilistic bugs undetected — the
+        # job exits 1 and --once must surface it.
+        root = str(tmp_path / "svc")
+        manifest = self._manifest(tmp_path, name="weak", tests_per_bug=1)
+        main(["submit", manifest, "--root", root])
+        code = main(["serve", "--root", root, "--once", "--no-http"])
+        capsys.readouterr()
+        from repro.service import CampaignManifest, ResultStore
+
+        m = CampaignManifest.load(manifest)
+        store = ResultStore(str(tmp_path / "svc" / "jobs" / m.job_id))
+        summary = store.summary()
+        expected = 0 if summary["hunts_detected"] == 3 else 1
+        assert code == expected
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
