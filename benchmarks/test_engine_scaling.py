@@ -1,11 +1,14 @@
-"""Engine scaling: the four R1–R7 implementations across problem sizes.
+"""Engine scaling: the batch R1–R7 implementations across problem sizes.
 
 Complements ``test_ablation_checkers.py`` (one size) with a sweep,
 recording where each engine's cost structure bites: the traversal
 baseline's per-iteration BFS cost, the int-bitset closure's word ops,
-the numpy matrix engine's per-call overhead vs vectorized ORs, and the
+the numpy matrix engine's per-call overhead vs vectorized ORs, the
 incremental vector-clock engine's frontier maintenance (which buys it
-exactly one closure build regardless of iteration count).
+exactly one closure build regardless of iteration count), and the
+kernel-batched vck engine, whose round-at-a-time array math is pure
+constant-factor overhead at tiny sizes and the clear winner as the
+per-round batches grow.
 """
 
 import pytest
@@ -14,6 +17,7 @@ from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
 from repro.core.matrix import MatrixChecker
 from repro.core.vc import VectorClockChecker
+from repro.core.vck import KernelVectorChecker
 from repro.generator.config import GeneratorConfig
 from repro.generator.generator import generate_program
 from repro.model.expansion import expand
@@ -24,12 +28,18 @@ ENGINES = {
     "closure": ClosureChecker,
     "matrix": MatrixChecker,
     "vc": VectorClockChecker,
+    "vck": KernelVectorChecker,
 }
 
-#: Total-op sweep; the traversal engine is capped at the smaller sizes
-#: (its cost at 1600 ops is tens of seconds — the point of the ablation).
-SIZES = (200, 400, 800)
+#: Total-op sweep; the slower engines are capped at the smaller sizes
+#: (the traversal engine's cost at 1600 ops is tens of seconds — the
+#: point of the ablation — and the per-pass rebuild engines take tens
+#: of seconds at 3200).  The upper sizes exist to separate vc from
+#: vck, whose batches only amortize once rounds are big enough.
+SIZES = (200, 400, 800, 1600, 3200)
 BASELINE_MAX = 400
+REBUILD_MAX = 800
+_CAPS = {"baseline": BASELINE_MAX, "closure": REBUILD_MAX, "matrix": REBUILD_MAX}
 
 
 def _aprog(total_ops: int, seed: int = 31):
@@ -47,8 +57,8 @@ def _aprog(total_ops: int, seed: int = 31):
 @pytest.mark.parametrize("total_ops", SIZES)
 @pytest.mark.parametrize("engine", sorted(ENGINES))
 def test_engine_scaling_point(benchmark, engine, total_ops):
-    if engine == "baseline" and total_ops > BASELINE_MAX:
-        pytest.skip("traversal engine capped to keep the bench quick")
+    if total_ops > _CAPS.get(engine, max(SIZES)):
+        pytest.skip("slow engine capped to keep the bench quick")
     aprog = _aprog(total_ops)
     checker = ENGINES[engine]()
     result = benchmark.pedantic(
@@ -66,7 +76,7 @@ def test_engine_scaling_series(benchmark, record):
         aprog = _aprog(total_ops)
         cells = [f"  ops={total_ops:<6d} nodes={aprog.n:<6d}"]
         for name, cls in sorted(ENGINES.items()):
-            if name == "baseline" and total_ops > BASELINE_MAX:
+            if total_ops > _CAPS.get(name, max(SIZES)):
                 cells.append(f"{name}=--")
                 continue
             result = cls().run(aprog)
@@ -75,7 +85,7 @@ def test_engine_scaling_series(benchmark, record):
         rows.append(" ".join(cells))
     record(
         "engine_scaling",
-        "Engine scaling (same rules, four implementations)\n"
+        "Engine scaling (same rules, five batch implementations)\n"
         + "\n".join(rows),
     )
     assert verdicts == {True}

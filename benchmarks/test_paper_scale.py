@@ -27,7 +27,12 @@ def test_sixteen_processor_run(benchmark, record):
     # The per-pass closure engine alongside, so the recorded artifact
     # shows the structural difference: its rebuild count tracks the
     # fixed-point iteration count, while the default (vc) engine's
-    # stays at one however many passes run.
+    # stays at one however many passes run.  The kernel-batched vck
+    # engine rides the same point; this is where its whole-round array
+    # math must pay for itself.
+    vck_point = measure_runtime(
+        NPROCS, SHARED_WORDS, TOTAL_OPS, seed=12, repeats=1, engine="vck"
+    )
     closure_point = measure_runtime(
         NPROCS, SHARED_WORDS, TOTAL_OPS, seed=12, repeats=1, engine="closure"
     )
@@ -35,12 +40,21 @@ def test_sixteen_processor_run(benchmark, record):
         "paper_scale",
         "Paper-scale operating point (16 CPUs, 400 instructions each)\n"
         f"  vc      {point.row()}\n"
+        f"  vck     {vck_point.row()}\n"
         f"  closure {closure_point.row()}",
     )
     assert point.nodes > 8_000
     assert point.seconds < 60.0, "analysis fell off a cliff at paper scale"
     assert point.closure_rebuilds == 1
     assert closure_point.closure_rebuilds >= closure_point.iterations
+    assert vck_point.closure_rebuilds == 1
+    # The kernel engine's reason to exist: >= 3x over the scalar vc
+    # engine at paper scale (with slack for shared-runner noise — the
+    # measured gap is comfortably above the bound).
+    assert vck_point.seconds * 2.5 < point.seconds, (
+        f"vck lost its batching edge: {vck_point.seconds:.2f}s vs "
+        f"vc {point.seconds:.2f}s"
+    )
 
     benchmark.pedantic(
         lambda: measure_runtime(NPROCS, SHARED_WORDS, TOTAL_OPS, seed=12),

@@ -41,6 +41,7 @@ from repro.core import (
     ClosureChecker,
     CompleteResult,
     EdgeReason,
+    KernelVectorChecker,
     MatrixChecker,
     MemoryModel,
     Violation,
@@ -98,6 +99,7 @@ __all__ = [
     "FaultReport",
     "CPU_CONFIGS",
     "MatrixChecker",
+    "KernelVectorChecker",
     "CoverageReport",
     "measure_coverage",
     "minimize_failure",

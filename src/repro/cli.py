@@ -542,6 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay-schedule", metavar="FILE",
                    help="re-execute a recorded ScheduleTrace exactly "
                         "(generation args are ignored)")
+    p.add_argument("--profile-out", metavar="FILE",
+                   help="profile the command under cProfile and dump "
+                        "pstats data here (see docs/performance.md)")
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_run)
 
@@ -553,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", help="write the violation region as Graphviz DOT")
     p.add_argument("--graph", help="write the full analysis graph as text")
     p.add_argument("--html", help="write a clickable HTML debug report")
+    p.add_argument("--profile-out", metavar="FILE",
+                   help="profile the command under cProfile and dump "
+                        "pstats data here (see docs/performance.md)")
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_check)
 
@@ -713,6 +719,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if metrics_out or want_summary:
         telemetry.configure(metrics_out=metrics_out)
     try:
+        profile_out = getattr(args, "profile_out", None)
+        if profile_out:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            try:
+                return profiler.runcall(args.func, args)
+            finally:
+                profiler.dump_stats(profile_out)
+                print(f"profile written to {profile_out} "
+                      "(inspect with python -m pstats)", file=sys.stderr)
         return args.func(args)
     finally:
         tel = telemetry.get_telemetry()

@@ -12,9 +12,12 @@ Public surface:
   algorithm,
 * :class:`repro.core.closure.ClosureChecker` /
   :class:`repro.core.matrix.MatrixChecker` /
-  :class:`repro.core.vc.VectorClockChecker` — the optimized engines
-  (bitset closure, numpy matrices, and the default incremental
-  vector-clock frontiers; see ``docs/engines.md``),
+  :class:`repro.core.vc.VectorClockChecker` /
+  :class:`repro.core.vck.KernelVectorChecker` — the optimized engines
+  (bitset closure, numpy matrices, the default incremental
+  vector-clock frontiers, and its vectorized-kernel variant; see
+  ``docs/engines.md``).  ``MatrixChecker`` needs the ``repro[fast]``
+  extra and is ``None`` when numpy is missing,
 * :func:`repro.core.complete.complete_check` — the exponential complete
   decision procedure (enforces the Order axiom; small programs only).
 """
@@ -24,8 +27,14 @@ from repro.core.api import check, check_execution, check_litmus
 from repro.core.result import CheckResult, Violation, ViolationKind, EdgeReason
 from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
-from repro.core.matrix import MatrixChecker
+from repro.core.kernels import HAVE_NUMPY
+
+if HAVE_NUMPY:
+    from repro.core.matrix import MatrixChecker
+else:  # numpy is an optional extra; the dense engine needs it
+    MatrixChecker = None  # type: ignore[assignment,misc]
 from repro.core.vc import VectorClockChecker
+from repro.core.vck import KernelVectorChecker
 from repro.core.complete import complete_check, CompleteResult
 from repro.core.axioms import verify_witness
 from repro.core.htmlreport import render_html
@@ -48,6 +57,7 @@ __all__ = [
     "ClosureChecker",
     "MatrixChecker",
     "VectorClockChecker",
+    "KernelVectorChecker",
     "complete_check",
     "CompleteResult",
     "verify_witness",

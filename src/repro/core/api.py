@@ -29,26 +29,34 @@ from typing import Dict, Optional
 from repro import telemetry
 from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
-from repro.core.matrix import MatrixChecker
+from repro.core.kernels import HAVE_NUMPY
 from repro.core.policy import MemoryModel, TSO
 from repro.core.result import CheckResult
 from repro.core.stream import StreamingChecker
 from repro.core.vc import VectorClockChecker
+from repro.core.vck import KernelVectorChecker
 from repro.model.expansion import AnalysisProgram, expand
 from repro.model.program import Program, parse_litmus
 from repro.model.trace import Execution
 
-#: Registered checker engines, by name.
+#: Registered checker engines, by name.  The dense-matrix engine is
+#: numpy-only and appears only when the ``repro[fast]`` extra is
+#: installed; ``vck`` is always registered and falls back to the shared
+#: scalar path without numpy (see ``docs/performance.md``).
 ENGINES = {
     "baseline": BaselineChecker,
     "closure": ClosureChecker,
-    "matrix": MatrixChecker,
     "stream": StreamingChecker,
     "vc": VectorClockChecker,
+    "vck": KernelVectorChecker,
 }
+if HAVE_NUMPY:
+    from repro.core.matrix import MatrixChecker
+
+    ENGINES["matrix"] = MatrixChecker
 
 #: The production default: the incremental vector-clock engine (see
-#: ``docs/engines.md`` for the five engines and when to pick each).
+#: ``docs/engines.md`` for the six engines and when to pick each).
 DEFAULT_ENGINE = "vc"
 
 

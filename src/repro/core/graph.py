@@ -41,24 +41,50 @@ class ConstraintGraph:
 
     def __init__(self, aprog: AnalysisProgram) -> None:
         self.aprog = aprog
-        self.n = aprog.n
-        self.succ: List[List[int]] = [[] for _ in range(self.n)]
-        self.pred: List[List[int]] = [[] for _ in range(self.n)]
-        self._succ_sets: List[set] = [set() for _ in range(self.n)]
+        self.n = 0
+        self.succ: List[List[int]] = []
+        self.pred: List[List[int]] = []
+        self._succ_sets: List[set] = []
+        # Redirection tables: _group[i] is node i's atomic group (-1 if
+        # none), _red_src[i]/_red_dst[i] its group-last/group-first.
+        # redirect() is called once per prospective edge — several per
+        # node per round — so three list reads beat the op/group dict
+        # walk it would otherwise repeat millions of times.
+        self._group: List[int] = []
+        self._red_src: List[int] = []
+        self._red_dst: List[int] = []
         self.reasons: Dict[Tuple[int, int], EdgeReason] = {}
         self.edge_count = 0
+        self.grow()
 
     def grow(self) -> None:
         """Extend adjacency storage to cover ops appended to the program.
 
         The streaming checker feeds a *live* ``AnalysisProgram`` whose op
         list grows as the simulator emits records; batch engines never
-        need this (their program is complete at construction).
+        need this (their program is complete at construction).  A newly
+        appended op extends its atomic group, moving the group's last
+        node — the redirection table is patched for every member.
         """
-        while self.n < self.aprog.n:
+        aprog = self.aprog
+        while self.n < aprog.n:
+            i = self.n
             self.succ.append([])
             self.pred.append([])
             self._succ_sets.append(set())
+            group = aprog.ops[i].group
+            self._group.append(group)
+            if group == -1:
+                self._red_src.append(i)
+                self._red_dst.append(i)
+            else:
+                members = aprog.groups[group]
+                last = members[-1]
+                self._red_src.append(last)
+                self._red_dst.append(members[0])
+                for member in members:
+                    if member < i:
+                        self._red_src[member] = last
             self.n += 1
 
     def redirect(self, u: int, v: int) -> Tuple[int, int]:
@@ -68,12 +94,10 @@ class ConstraintGraph:
         edges leave from the group's last node, incoming edges land on the
         group's first node.  Edges within one group are left untouched.
         """
-        aprog = self.aprog
-        gu = aprog.ops[u].group
-        gv = aprog.ops[v].group
-        if gu != -1 and gu == gv:
+        gu = self._group[u]
+        if gu != -1 and gu == self._group[v]:
             return u, v
-        return aprog.group_last(u), aprog.group_first(v)
+        return self._red_src[u], self._red_dst[v]
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if the explicit (non-transitive) edge ``u -> v`` exists."""
@@ -86,9 +110,29 @@ class ConstraintGraph:
             CycleDetected: if the redirected edge is a self-loop, which is
                 an immediate one-node cycle.
         """
-        u, v = self.redirect(u, v)
+        # redirect() + add_redirected(), inlined: this is the guaranteed
+        # phase's per-edge path, hot enough for the two calls to show up.
+        gu = self._group[u]
+        if gu == -1 or gu != self._group[v]:
+            u = self._red_src[u]
+            v = self._red_dst[v]
         if u == v:
             raise CycleDetected(u, v)
+        succ_set = self._succ_sets[u]
+        if v in succ_set:
+            return False
+        succ_set.add(v)
+        self.succ[u].append(v)
+        self.pred[v].append(u)
+        self.reasons[(u, v)] = reason
+        self.edge_count += 1
+        return True
+
+    def add_redirected(self, u: int, v: int, reason: EdgeReason) -> bool:
+        """:meth:`add_edge` for endpoints already redirected by the
+        caller — the incremental engines redirect once up front and
+        insert millions of edges, so the second redirection is pure
+        overhead on their hot path."""
         if v in self._succ_sets[u]:
             return False
         self._succ_sets[u].add(v)

@@ -4,7 +4,9 @@ Third implementation of the Fig. 2 rules, alongside the traversal
 baseline and the Python-int bitset closure engine: reachability is held
 as a dense ``(n, ceil(n/64))`` uint64 matrix — row ``v`` of ``reach_from``
 is the descendant set of ``v`` packed 64 nodes per word — and closure
-rebuilds vectorize the per-node OR over numpy words.
+rebuilds are the word-wise OR sweeps of
+:func:`repro.core.kernels.packed_closure`, shared with (and unit-tested
+against scalar references in) the kernel compute layer.
 
 Why keep several engines?  They answer different questions
 (``docs/engines.md`` has the full comparison):
@@ -30,6 +32,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import telemetry
+from repro.core import kernels
 from repro.core.checker import observed_edges, precheck_violation
 from repro.core.closure import topological_order
 from repro.core.graph import ConstraintGraph, CycleDetected
@@ -43,23 +46,6 @@ from repro.core.result import (
     ViolationKind,
 )
 from repro.model.expansion import AnalysisProgram
-
-
-def _words_for(n: int) -> int:
-    return (n + 63) // 64
-
-
-def _bit(matrix: np.ndarray, row: int, col: int) -> bool:
-    return bool((int(matrix[row, col >> 6]) >> (col & 63)) & 1)
-
-
-def _set_bit(matrix: np.ndarray, row: int, col: int) -> None:
-    matrix[row, col >> 6] |= np.uint64(1 << (col & 63))
-
-
-def _row_members(matrix: np.ndarray, row: int, n: int) -> List[int]:
-    """Indices of set bits in a packed row."""
-    return iter_packed_bits(matrix[row])
 
 
 class MatrixChecker:
@@ -98,7 +84,6 @@ class MatrixChecker:
         self, aprog: AnalysisProgram, stats: CheckStats
     ) -> Optional[Violation]:
         n = aprog.n
-        nwords = _words_for(n)
         graph = ConstraintGraph(aprog)
         self._graph = graph
 
@@ -112,12 +97,10 @@ class MatrixChecker:
         except CycleDetected as exc:
             return self._violation(aprog, graph, exc)
 
-        stores_rows: Dict[int, np.ndarray] = {}
-        for addr, addr_stores in aprog.stores_by_addr.items():
-            row = np.zeros(nwords, dtype=np.uint64)
-            for store in addr_stores:
-                row[store >> 6] |= np.uint64(1 << (store & 63))
-            stores_rows[addr] = row
+        stores_rows: Dict[int, np.ndarray] = {
+            addr: kernels.mask_row(n, addr_stores)
+            for addr, addr_stores in aprog.stores_by_addr.items()
+        }
 
         prep = prepare(aprog)
         loads, stores, group_first = prep.loads, prep.stores, prep.group_first
@@ -126,8 +109,11 @@ class MatrixChecker:
             order = topological_order(graph)
             if order is None:
                 return self._found_cycle(aprog, graph)
-            reach_from, reach_to = self._compute_closure(graph, order, n, nwords)
+            reach_from, reach_to = kernels.packed_closure(
+                n, order, graph.succ, graph.pred
+            )
             stats.closure_rebuilds += 1
+            stats.kernel_batches += 2
 
             stats.iterations += 1
             added = 0
@@ -152,7 +138,9 @@ class MatrixChecker:
                             continue
                         s_prime_first = group_first[s_prime]
                         for load, load_last in observers:
-                            if _bit(reach_from, load_last, s_prime_first):
+                            if kernels.packed_bit(
+                                reach_from, load_last, s_prime_first
+                            ):
                                 continue  # redirected edge already implied
                             reason = EdgeReason(
                                 "R7",
@@ -166,22 +154,6 @@ class MatrixChecker:
             if not added:
                 return None
             stats.inferred_edges += added
-
-    @staticmethod
-    def _compute_closure(graph, order, n, nwords):
-        reach_from = np.zeros((n, nwords), dtype=np.uint64)
-        reach_to = np.zeros((n, nwords), dtype=np.uint64)
-        for node in reversed(order):
-            row = reach_from[node]
-            _set_bit(reach_from, node, node)
-            for child in graph.succ[node]:
-                np.bitwise_or(row, reach_from[child], out=row)
-        for node in order:
-            row = reach_to[node]
-            _set_bit(reach_to, node, node)
-            for parent in graph.pred[node]:
-                np.bitwise_or(row, reach_to[parent], out=row)
-        return reach_from, reach_to
 
     @staticmethod
     def _members(mask: np.ndarray) -> List[int]:

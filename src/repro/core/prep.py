@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
-from repro.model.expansion import AnalysisProgram
+from repro.core.policy import MemoryModel
+from repro.model.expansion import AnalysisProgram, OpKind
 
 #: One R6 work item: (load id, word address, observed store,
 #: group-first node of the observed store — where redirected incoming
@@ -54,6 +55,102 @@ def iter_packed_bits(row) -> List[int]:
             out.append(base + low.bit_length() - 1)
             word ^= low
     return out
+
+
+class Chains:
+    """A chain decomposition of the analysis nodes, derived from the
+    memory model's static guarantees.
+
+    Every node belongs to exactly one chain, and consecutive members of
+    a chain are always ordered by the static edges (directly, or through
+    their atomic group's internal ``atomic`` chain after redirection).
+    That path property is what makes a frontier entry exact: if chain
+    member ``c[i]`` reaches ``v``, so does every ``c[j]`` with
+    ``j < i``.
+
+    The decomposition, per processor:
+
+    * loads and membars in program order (``load_load`` models — all
+      shipped ones; otherwise membars chain alone and loads are
+      singletons);
+    * stores in program order when the model keeps ``store_store``
+      (TSO/SC; under SC the load and store chains merge into one full
+      program-order chain);
+    * stores per address when only ``same_addr_store_store`` survives
+      (PSO per-location coherence);
+    * singleton chains otherwise.
+
+    Each synthetic root store is its own singleton chain (roots are
+    mutually unordered).
+
+    Shared by the scalar vc engine and the kernel-accelerated vck
+    engine — both consume the same decomposition, per-address store
+    index, and candidate semantics (the vectorized path batches the
+    same interval queries; see :mod:`repro.core.kernels`).
+    """
+
+    def __init__(self, aprog: AnalysisProgram, model: MemoryModel) -> None:
+        n = aprog.n
+        self.nodes: List[List[int]] = []
+        self.chain_of = [0] * n
+        self.pos_of = [0] * n
+        for addr in sorted(aprog.roots):
+            self._new_chain([aprog.roots[addr]])
+        full_po = (
+            model.load_load and model.load_store
+            and model.store_store and model.store_load
+        )
+        for stream in aprog.per_proc:
+            if full_po:
+                self._new_chain(list(stream))
+                continue
+            ops = aprog.ops
+            if model.load_load:
+                self._new_chain([
+                    op_id for op_id in stream
+                    if ops[op_id].kind != OpKind.STORE
+                ])
+            else:
+                self._new_chain([
+                    op_id for op_id in stream
+                    if ops[op_id].kind == OpKind.MEMBAR
+                ])
+                for op_id in stream:
+                    if ops[op_id].kind == OpKind.LOAD:
+                        self._new_chain([op_id])
+            stores = [op_id for op_id in stream if ops[op_id].is_store]
+            if model.store_store:
+                self._new_chain(stores)
+            elif model.same_addr_store_store:
+                by_addr: Dict[int, List[int]] = {}
+                for store in stores:
+                    by_addr.setdefault(ops[store].addr, []).append(store)
+                for addr in sorted(by_addr):
+                    self._new_chain(by_addr[addr])
+            else:
+                for store in stores:
+                    self._new_chain([store])
+        self.k = len(self.nodes)
+        # Per-address store index: addr -> [(chain, sorted positions)],
+        # the slices every R6/R7 interval query searches.
+        self.addr_stores: Dict[int, List[Tuple[int, List[int]]]] = {}
+        per_chain: Dict[Tuple[int, int], List[int]] = {}
+        for op in aprog.ops:
+            if op.is_store:
+                key = (op.addr, self.chain_of[op.id])
+                per_chain.setdefault(key, []).append(self.pos_of[op.id])
+        for (addr, chain), positions in per_chain.items():
+            positions.sort()
+            self.addr_stores.setdefault(addr, []).append((chain, positions))
+
+    def _new_chain(self, members: List[int]) -> None:
+        if not members:
+            return
+        chain = len(self.nodes)
+        self.nodes.append(members)
+        for pos, node in enumerate(members):
+            self.chain_of[node] = chain
+            self.pos_of[node] = pos
 
 
 @dataclass

@@ -228,6 +228,11 @@ class CheckStats:
     #: the affected-region cost of keeping the topological order (and
     #: with it cycle detection) current across edge insertions.
     reorder_visits: int = 0
+    #: Vck engine only: vectorized kernel dispatches — frontier builds,
+    #: batched R6/R7 span discoveries, and batched suppression tests.
+    #: Stays 0 on the pure-Python fallback path (no numpy), where the
+    #: engine runs the shared scalar loops instead.
+    kernel_batches: int = 0
     #: Stream engine only: nodes whose frontier vectors were dropped by
     #: window retirement, and the peak count of simultaneously-live
     #: (vector-carrying) nodes.  ``live_peak`` is the engine's memory
@@ -254,6 +259,7 @@ class CheckStats:
             "closure_rebuilds": self.closure_rebuilds,
             "vc_queries": self.vc_queries,
             "reorder_visits": self.reorder_visits,
+            "kernel_batches": self.kernel_batches,
             "retired_nodes": self.retired_nodes,
             "live_peak": self.live_peak,
         }

@@ -368,12 +368,41 @@ class _StreamState:
                     self._delayed, (self._admitted + self.window, prev)
                 )
         # A new same-address store can extend any live R7 item's candidate
-        # set without improving a frontier, so re-dirty them all.  (R6
-        # needs no such trigger: the new chain position is larger than
-        # every existing vec_to entry, so no current interval covers it.)
-        dirty = self._r7_by_addr.get(addr)
-        if dirty:
-            self._dirty_r7.update(dirty)
+        # set without improving a frontier.  (R6 needs no such trigger:
+        # the new chain position is larger than every existing vec_to
+        # entry, so no current interval covers it.)  The append touches
+        # exactly one chain, and the appended store is that chain's new
+        # tail — so an item whose scan state for the chain is current
+        # needs only a single targeted scan of the one new candidate
+        # against its settled observers, not a re-examination of every
+        # chain.  Items that never looked at this chain, or with older
+        # appends still pending, fall back to the dirty set and the
+        # general scan.
+        live = self._r7_by_addr.get(addr)
+        if not live:
+            return
+        c_new = self._chain_of[store]
+        positions = self._addr_stores[addr][c_new]
+        tail = len(positions)
+        queries = 0
+        for item_store in live:
+            item = self._r7_items.get(item_store)
+            if item is None or self._vec_from[item_store] is None:
+                continue  # retired; the next settle's sweep drops it
+            state = item[3].get(c_new)
+            if state is None:
+                self._dirty_r7.add(item_store)
+            elif state[1] == tail - 1:
+                state[1] = tail
+                obs_done = item[2]
+                if obs_done:
+                    queries += self._scan_r7(
+                        item_store, item[1][:obs_done], positions,
+                        tail - 1, tail, c_new,
+                    )
+            else:
+                self._dirty_r7.add(item_store)
+        self.stats.vc_queries += queries
 
     # ------------------------------------------------------------------
     # Settling: value resolution + the dirty-set fixed point

@@ -10,7 +10,8 @@ exactly by a short *frontier vector* with one entry per totally ordered
 **chain** of nodes.
 
 Chains are carved out of the static program-order edges the memory
-model guarantees (see :class:`_Chains`): under TSO each processor
+model guarantees (see :class:`repro.core.prep.Chains`): under TSO
+each processor
 contributes one load(+membar) chain and one store chain, each synthetic
 root store is its own singleton chain, so ``k ≈ 2·procs + addrs`` —
 two orders of magnitude below the node count at the paper's operating
@@ -56,7 +57,7 @@ from repro.core.checker import observed_edges, precheck_violation
 from repro.core.closure import topological_order
 from repro.core.graph import ConstraintGraph, CycleDetected
 from repro.core.policy import MemoryModel, TSO, static_edges
-from repro.core.prep import EnginePrep, prepare
+from repro.core.prep import Chains, EnginePrep, prepare
 from repro.core.result import (
     CheckResult,
     CheckStats,
@@ -64,98 +65,13 @@ from repro.core.result import (
     Violation,
     ViolationKind,
 )
-from repro.model.expansion import AnalysisProgram, OpKind
+from repro.model.expansion import AnalysisProgram
 
-
-class _Chains:
-    """A chain decomposition of the analysis nodes, derived from the
-    memory model's static guarantees.
-
-    Every node belongs to exactly one chain, and consecutive members of
-    a chain are always ordered by the static edges (directly, or through
-    their atomic group's internal ``atomic`` chain after redirection).
-    That path property is what makes a frontier entry exact: if chain
-    member ``c[i]`` reaches ``v``, so does every ``c[j]`` with
-    ``j < i``.
-
-    The decomposition, per processor:
-
-    * loads and membars in program order (``load_load`` models — all
-      shipped ones; otherwise membars chain alone and loads are
-      singletons);
-    * stores in program order when the model keeps ``store_store``
-      (TSO/SC; under SC the load and store chains merge into one full
-      program-order chain);
-    * stores per address when only ``same_addr_store_store`` survives
-      (PSO per-location coherence);
-    * singleton chains otherwise.
-
-    Each synthetic root store is its own singleton chain (roots are
-    mutually unordered).
-    """
-
-    def __init__(self, aprog: AnalysisProgram, model: MemoryModel) -> None:
-        n = aprog.n
-        self.nodes: List[List[int]] = []
-        self.chain_of = [0] * n
-        self.pos_of = [0] * n
-        for addr in sorted(aprog.roots):
-            self._new_chain([aprog.roots[addr]])
-        full_po = (
-            model.load_load and model.load_store
-            and model.store_store and model.store_load
-        )
-        for stream in aprog.per_proc:
-            if full_po:
-                self._new_chain(list(stream))
-                continue
-            ops = aprog.ops
-            if model.load_load:
-                self._new_chain([
-                    op_id for op_id in stream
-                    if ops[op_id].kind != OpKind.STORE
-                ])
-            else:
-                self._new_chain([
-                    op_id for op_id in stream
-                    if ops[op_id].kind == OpKind.MEMBAR
-                ])
-                for op_id in stream:
-                    if ops[op_id].kind == OpKind.LOAD:
-                        self._new_chain([op_id])
-            stores = [op_id for op_id in stream if ops[op_id].is_store]
-            if model.store_store:
-                self._new_chain(stores)
-            elif model.same_addr_store_store:
-                by_addr: Dict[int, List[int]] = {}
-                for store in stores:
-                    by_addr.setdefault(ops[store].addr, []).append(store)
-                for addr in sorted(by_addr):
-                    self._new_chain(by_addr[addr])
-            else:
-                for store in stores:
-                    self._new_chain([store])
-        self.k = len(self.nodes)
-        # Per-address store index: addr -> [(chain, sorted positions)],
-        # the slices every R6/R7 interval query searches.
-        self.addr_stores: Dict[int, List[Tuple[int, List[int]]]] = {}
-        per_chain: Dict[Tuple[int, int], List[int]] = {}
-        for op in aprog.ops:
-            if op.is_store:
-                key = (op.addr, self.chain_of[op.id])
-                per_chain.setdefault(key, []).append(self.pos_of[op.id])
-        for (addr, chain), positions in per_chain.items():
-            positions.sort()
-            self.addr_stores.setdefault(addr, []).append((chain, positions))
-
-    def _new_chain(self, members: List[int]) -> None:
-        if not members:
-            return
-        chain = len(self.nodes)
-        self.nodes.append(members)
-        for pos, node in enumerate(members):
-            self.chain_of[node] = chain
-            self.pos_of[node] = pos
+#: Back-compat alias: the chain decomposition moved to
+#: :class:`repro.core.prep.Chains` so the scalar and kernel engines
+#: share one construction (tests and downstream code keep importing it
+#: from here).
+_Chains = Chains
 
 
 class VectorClockChecker:
@@ -399,8 +315,12 @@ class VectorClockChecker:
             raise CycleDetected(u, v)
         if graph.has_edge(u, v):
             return False
-        self._reorder(u, v, reason)
-        graph.add_edge(u, v, reason)
+        # Order-compatible edges (the overwhelming majority) skip the
+        # Pearce–Kelly call entirely; _reorder repeats this guard for
+        # callers that reach it directly.
+        if self._ord[u] >= self._ord[v]:
+            self._reorder(u, v, reason)
+        graph.add_redirected(u, v, reason)
         self._push_forward(u, v)
         self._push_backward(u, v)
         return True
@@ -431,7 +351,7 @@ class VectorClockChecker:
                 if child == u:
                     # Path v ~> u exists: u -> v closes a cycle.  Record
                     # the edge so cycle_reasons can name its rule.
-                    graph.add_edge(u, v, reason)
+                    graph.add_redirected(u, v, reason)
                     raise CycleDetected(u, v)
                 if child not in forward and ord_[child] <= upper:
                     forward.add(child)

@@ -149,6 +149,9 @@ class AnalysisProgram:
     #: codes are "unmapped" (load value never written to its address) and
     #: "nonfaulting" (faulting non-faulting load returned nonzero).
     precheck_failures: List[Tuple[str, str]] = field(default_factory=list)
+    #: Lazily filled cache behind :meth:`describe` (reason strings render
+    #: the same nodes thousands of times at checker scale).
+    _describe_cache: Dict[int, str] = field(default_factory=dict, repr=False)
 
     @property
     def n(self) -> int:
@@ -190,7 +193,19 @@ class AnalysisProgram:
         return self.word_names.get(addr, f"{addr:#x}")
 
     def describe(self, op_id: int) -> str:
-        """Human-readable one-line description of a node, for diagnostics."""
+        """Human-readable one-line description of a node, for diagnostics.
+
+        Memoized: reason strings for the guaranteed-edge phase describe
+        every load and its stores, so each node is rendered many times.
+        """
+        cached = self._describe_cache.get(op_id)
+        if cached is not None:
+            return cached
+        text = self._describe(op_id)
+        self._describe_cache[op_id] = text
+        return text
+
+    def _describe(self, op_id: int) -> str:
         op = self.ops[op_id]
         if op.is_root:
             return f"init[{self.name_of(op.addr)}]#{op.value}"

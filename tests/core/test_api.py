@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.api import ENGINES, check, check_execution, check_litmus, make_checker
+from repro.core.kernels import HAVE_NUMPY
 from repro.core.policy import SC, TSO
 from repro.core.result import (
     CheckResult,
@@ -17,7 +18,10 @@ from tests.util import golden_run
 
 class TestMakeChecker:
     def test_engines_registered(self):
-        assert set(ENGINES) == {"baseline", "closure", "matrix", "stream", "vc"}
+        expected = {"baseline", "closure", "stream", "vc", "vck"}
+        if HAVE_NUMPY:
+            expected.add("matrix")
+        assert set(ENGINES) == expected
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):

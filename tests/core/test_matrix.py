@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.matrix import MatrixChecker, _bit, _row_members, _set_bit
+from repro.core.kernels import packed_bit as _bit, set_packed_bit as _set_bit
+from repro.core.matrix import MatrixChecker
+from repro.core.prep import iter_packed_bits
+
+
+def _row_members(matrix, row, n):
+    return iter_packed_bits(matrix[row])
 from repro.core.policy import SC, TSO
 from repro.core.result import ViolationKind
 from repro.generator.litmus import LITMUS_LIBRARY, litmus_by_name

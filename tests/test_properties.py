@@ -5,12 +5,18 @@ The three load-bearing properties of the whole system:
 1. **End-to-end soundness** — the checker never flags an execution the
    golden TSO machine produced ("we presume the machine innocent,
    unless proved guilty": no false positives, Sec. 1).
-2. **Engine agreement** — all five checker engines (the literal
+2. **Engine agreement** — all six checker engines (the literal
    Fig. 2 baseline, the bitset closure, the numpy matrix, the
-   incremental vector-clock engine and the streaming engine at its
-   default no-retirement window) return the same verdict — and,
-   on failures, the same violation kind — on everything, including
-   adversarially corrupted and fault-injected runs.
+   incremental vector-clock engine, its vectorized-kernel variant
+   ``vck`` and the streaming engine at its default no-retirement
+   window) return the same verdict — and, on failures, the same
+   violation kind — on everything, including adversarially corrupted
+   and fault-injected runs.  The vc/vck pair must additionally both
+   produce a *valid* witness: a closed walk of explicit, reasoned
+   edges in each engine's own final graph (vck shares vc's
+   closing-edge mechanism but may close a different — equally real —
+   cycle, because its batched R6 pass inserts edges in a different
+   order and skips implied ones).
 3. **Complete-checker consistency** — on small programs, the polynomial
    checker is sound w.r.t. the exponential ground truth: whatever it
    flags, the complete procedure also rejects.
@@ -138,12 +144,48 @@ def test_engines_agree_on_golden_and_corrupted_runs(config, seed):
             for engine in sorted(ENGINES)
         }
         assert len(set(verdicts.values())) == 1, verdicts
+        _assert_witness_parity(program, trace)
 
 
 def _verdict(result):
     """The cross-engine comparison key: verdict plus violation kind."""
     kind = result.violation.kind if result.violation is not None else None
     return result.ok, kind
+
+
+def _strip_engine_header(text):
+    return "\n".join(
+        line for line in text.splitlines() if "engine=" not in line
+    )
+
+
+def _assert_valid_cycle_witness(result):
+    """Every consecutive pair in the reported cycle must be an explicit,
+    reasoned edge of the engine's final graph, with a reason the renderer
+    can print — the witness is checkable, not just a node list."""
+    cycle = result.violation.cycle
+    reasons = result.violation.reasons
+    assert len(cycle) >= 2
+    assert len(reasons) == len(cycle)
+    for i, node in enumerate(cycle):
+        nxt = cycle[(i + 1) % len(cycle)]
+        assert (node, nxt) in result.graph.reasons, (node, nxt)
+        assert reasons[i].render()
+
+
+def _assert_witness_parity(program, trace):
+    """vc and vck share the closing-edge witness mechanism: on failures
+    both must report a CYCLE backed by explicit edges in their own final
+    graphs (the cycles themselves may differ; see the module docstring)."""
+    vc = check(program, trace, engine="vc")
+    vck = check(program, trace, engine="vck")
+    assert vc.ok == vck.ok
+    if not vc.ok and vc.violation.cycle:
+        assert vc.violation.kind == vck.violation.kind
+        _assert_valid_cycle_witness(vc)
+        _assert_valid_cycle_witness(vck)
+        assert _strip_engine_header(vc.explain())
+        assert _strip_engine_header(vck.explain())
 
 
 #: Every shipped fault mechanism except the deliberate-hang scaffolding
@@ -174,6 +216,7 @@ def test_engines_agree_under_fault_injection(mechanism):
             for engine in sorted(ENGINES)
         }
         assert len(set(verdicts.values())) == 1, (mechanism.__name__, verdicts)
+        _assert_witness_parity(program, trace)
 
 
 @FAST
