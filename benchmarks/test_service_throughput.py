@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 from repro.analysis.campaign import run_campaign
+from repro.service.daemon import CampaignService, ServiceConfig
 from repro.service.manifest import CampaignManifest
 from repro.service.queue import JobRunner
 from repro.service.store import ResultStore
@@ -88,3 +89,58 @@ def test_service_throughput_vs_run_campaign(record, tmp_path_factory):
         f"{plain_seconds:.2f}s — persistence overhead exploded"
     )
     assert resume_seconds < plain_seconds, "resume must not re-run hunts"
+
+
+def test_status_probe_cache(record, tmp_path_factory):
+    """Status probes on an idle spool must answer from the summary
+    cache — O(stat calls) per probe — not re-parse every store line.
+
+    The guard is deterministic (the service's cache-hit counter), not a
+    timing threshold: every warm probe must hit, and any store append
+    must invalidate exactly once.
+    """
+    root = str(tmp_path_factory.mktemp("status-cache-bench"))
+    manifest = CampaignManifest(
+        name="bench-status", seeds=SEEDS, cpus=CPUS,
+        tests_per_bug=TESTS_PER_BUG,
+    )
+    service = CampaignService(ServiceConfig(root=root, http_port=None))
+    service.submit(manifest)
+    service.run_job(manifest.job_id, manifest)
+
+    # Cold probe: parses the whole store once and fills the cache.
+    t0 = time.perf_counter()
+    service.status()
+    cold_seconds = time.perf_counter() - t0
+    assert service._summary_cache_hits == 0
+
+    # Warm probes: every one answers from the cache.
+    probes = 50
+    t0 = time.perf_counter()
+    for _ in range(probes):
+        service.status()
+    warm_seconds = (time.perf_counter() - t0) / probes
+    assert service._summary_cache_hits == probes
+
+    # Any append invalidates: the next probe re-parses (no new hit),
+    # the one after hits again.
+    store = ResultStore(service.job_dir(manifest.job_id))
+    try:
+        store.append_lease(
+            manifest.shards()[0].shard_id, "claim", "bench-owner",
+            time=time.time(), expires=time.time() + 30.0,
+        )
+    finally:
+        store.close()
+    service.status()
+    assert service._summary_cache_hits == probes
+    service.status()
+    assert service._summary_cache_hits == probes + 1
+
+    record("status_probe_cache", "\n".join([
+        f"store: {manifest.hunt_count()} hunts across "
+        f"{len(manifest.shards())} shards",
+        f"  cold probe (full store parse): {cold_seconds * 1000:8.2f} ms",
+        f"  warm probe (signature cache):  {warm_seconds * 1000:8.2f} ms "
+        f"({cold_seconds / max(warm_seconds, 1e-9):6.1f}x)",
+    ]))

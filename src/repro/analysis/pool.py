@@ -164,9 +164,13 @@ def _worker_main(
 ) -> None:
     """Worker loop: receive one task at a time, run it, send the result.
 
-    Messages to the parent are ``("done", seconds, cpu_seconds, value)``
-    or ``("error", seconds, cpu_seconds, repr)``; a ``None`` task is the
-    shutdown sentinel.
+    Messages to the parent are ``(index, "done", seconds, cpu_seconds,
+    value)`` or ``(index, "error", seconds, cpu_seconds, repr)``; a
+    ``None`` task is the shutdown sentinel.  The echoed task index is
+    the parent's staleness check: a reply that does not name the task
+    the parent believes this worker is running (a late or duplicate
+    send) is dropped, never misattributed to whatever task the worker
+    holds now.
 
     Telemetry: the worker attaches to the campaign's JSONL sink (path
     inherited through the environment) and flushes its cumulative
@@ -181,7 +185,7 @@ def _worker_main(
             return
         if item is None:
             return
-        _index, task = item
+        index, task = item
         start = time.perf_counter()
         cpu_start = time.process_time()
         try:
@@ -189,13 +193,13 @@ def _worker_main(
         except BaseException as exc:  # noqa: BLE001 - report, parent decides
             telemetry.get_telemetry().flush()
             conn.send((
-                "error", time.perf_counter() - start,
+                index, "error", time.perf_counter() - start,
                 time.process_time() - cpu_start, repr(exc),
             ))
         else:
             telemetry.get_telemetry().flush()
             conn.send((
-                "done", time.perf_counter() - start,
+                index, "done", time.perf_counter() - start,
                 time.process_time() - cpu_start, value,
             ))
 
@@ -396,6 +400,12 @@ def _run_pool(
         (i, 1, time.monotonic()) for i in range(len(tasks))
     )
     resolved = 0  # done + hung
+    #: Per-task resolution ledger: once a slot is True the task's fate
+    #: is final, and any further message naming it (a duplicate send, a
+    #: reply that limped in after its worker was written off) is
+    #: dropped — delivered-at-most-once is what lets ``on_result``
+    #: persist results without its own dedup.
+    resolved_flags: List[bool] = [False] * len(tasks)
     pool: Dict[int, _Worker] = {}
     next_id = 0
 
@@ -422,6 +432,8 @@ def _run_pool(
         requeue or give up.  ``seconds`` is the attempt's measured wall
         time when the worker lived to report it, else 0.0."""
         nonlocal resolved
+        if resolved_flags[index]:  # pragma: no cover - defensive
+            return
         if attempt <= retries:
             stats.retries += 1
             queue.append((index, attempt + 1, time.monotonic()))
@@ -430,6 +442,7 @@ def _run_pool(
         else:
             stats.hung += 1
             resolved += 1
+            resolved_flags[index] = True
             _emit(progress, stats, "hung", index, names[index],
                   worker_id, seconds, attempt)
 
@@ -467,7 +480,7 @@ def _run_pool(
                 assert worker.busy is not None
                 index, attempt, _started = worker.busy
                 try:
-                    kind, seconds, cpu_seconds, payload = conn.recv()
+                    msg_index, kind, seconds, cpu_seconds, payload = conn.recv()
                 except (EOFError, OSError):
                     # The pipe failed mid-task.  The process may still be
                     # alive (e.g. the task closed its own fds), in which
@@ -476,6 +489,19 @@ def _run_pool(
                     # break it.  Treat a failed recv as worker death:
                     # kill, account, respawn; never poll this conn again.
                     reap(worker, index, attempt)
+                    continue
+                if msg_index != index or resolved_flags[msg_index]:
+                    # A reply for a task this worker is *not* currently
+                    # running, or for a task whose fate is already
+                    # sealed: the late echo of a timed-out-then-retried
+                    # task, or an outright duplicate send.  Before the
+                    # index rode along in the message, this reply was
+                    # silently credited to the worker's current task —
+                    # the double-``on_result`` bug.  Drop it; the
+                    # worker's real reply (if any) is still coming.
+                    stats.stale_results += 1
+                    if tel.enabled:
+                        tel.count("pool.stale_results")
                     continue
                 worker.busy = None
                 if kind == "done":
@@ -486,6 +512,7 @@ def _run_pool(
                         stats.per_worker.get(worker.id, 0) + 1
                     )
                     resolved += 1
+                    resolved_flags[index] = True
                     if on_result is not None:
                         on_result(index, payload)
                     _emit(progress, stats, "done", index, names[index],

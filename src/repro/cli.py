@@ -25,6 +25,7 @@ import json
 import os
 import sys
 import urllib.request
+import warnings
 from typing import List, Optional
 
 from repro import telemetry
@@ -65,7 +66,12 @@ from repro.sched import (
     make_policy,
     sweep_program,
 )
-from repro.service import CampaignManifest, CampaignService, ServiceConfig
+from repro.service import (
+    CampaignManifest,
+    CampaignService,
+    ResultStore,
+    ServiceConfig,
+)
 from repro.sim.cpus import cpu_by_name, CPU_CONFIGS
 from repro.sim.machine import MachineConfig, TsoMachine
 
@@ -401,6 +407,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     if not _require_workers_for_timeout(args):
         return 2
+    if args.lease_seconds <= 0:
+        print("--lease-seconds must be positive", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         root=args.root,
         workers=args.workers,
@@ -409,6 +418,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         http_host=args.http_host,
         http_port=None if args.no_http else args.http_port,
         once=args.once,
+        owner=args.owner,
+        lease_seconds=args.lease_seconds,
     )
     service = CampaignService(
         config, progress=_pool_progress if args.workers > 1 else None
@@ -467,6 +478,56 @@ def _cmd_status(args: argparse.Namespace) -> int:
         if job.get("exit_code") is not None:
             line += f", exit {job['exit_code']}"
         print(line)
+        owners = job.get("owners") or {}
+        for owner in sorted(owners):
+            print(f"    leased by {owner}: {owners[owner]} shard(s)")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.root):
+        print(f"no service root at {args.root}", file=sys.stderr)
+        return 2
+    service = CampaignService(ServiceConfig(root=args.root, http_port=None))
+    report = service.gc(
+        min_age_seconds=args.older_than, compact=not args.no_compact
+    )
+    removed = report["removed_spool"]
+    print(
+        f"gc: removed {len(removed)} finished spool entr"
+        f"{'y' if len(removed) == 1 else 'ies'}, "
+        f"{len(report['removed_tmp'])} tmp file(s), "
+        f"compacted {report['compacted_shards']} shard(s)"
+    )
+    for job_id in removed:
+        print(f"  retired {job_id}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.root):
+        print(f"no service root at {args.root}", file=sys.stderr)
+        return 2
+    service = CampaignService(ServiceConfig(root=args.root, http_port=None))
+    total_before = total_after = shards = 0
+    for job_id, _manifest in service.spooled():
+        job_dir = service.job_dir(job_id)
+        if not os.path.isdir(job_dir):
+            continue
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            store = ResultStore(job_dir)
+            try:
+                for _shard_id, (before, after) in store.compact().items():
+                    shards += 1
+                    total_before += before
+                    total_after += after
+            finally:
+                store.close()
+    print(
+        f"compacted {shards} done shard(s): "
+        f"{total_before} -> {total_after} line(s)"
+    )
     return 0
 
 
@@ -672,6 +733,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "the bound address is written to ROOT/status.address)")
     p.add_argument("--no-http", action="store_true",
                    help="run without the status endpoint")
+    p.add_argument("--owner", default=None,
+                   help="lease owner id for this daemon (default: "
+                        "<hostname>-<pid>); give each daemon of a fleet "
+                        "a distinct name")
+    p.add_argument("--lease-seconds", type=float, default=30.0,
+                   help="shard lease lifetime in seconds (default: 30); "
+                        "a killed daemon's shards are taken over by a "
+                        "peer after one expiry window")
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -684,6 +753,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the raw status payload as JSON")
     p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser(
+        "gc",
+        help="reclaim a service root: retire finished jobs' spool "
+             "entries, sweep tmp litter, compact done shards",
+    )
+    p.add_argument("--root", default="service",
+                   help="service root directory (default: ./service)")
+    p.add_argument("--older-than", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="only retire jobs whose result.json is at least "
+                        "this old (default: 0, any finished job)")
+    p.add_argument("--no-compact", action="store_true",
+                   help="skip shard compaction while collecting")
+    p.set_defaults(func=_cmd_gc)
+
+    p = sub.add_parser(
+        "compact",
+        help="rewrite every done shard's store file to its canonical "
+             "record set (drops superseded records and lease history)",
+    )
+    p.add_argument("--root", default="service",
+                   help="service root directory (default: ./service)")
+    p.set_defaults(func=_cmd_compact)
 
     p = sub.add_parser(
         "report", help="run the whole evaluation and write one report"

@@ -93,6 +93,12 @@ class PoolStats:
     #: into the ``pool.respawns`` telemetry counter; before this field a
     #: respawn-after-death left no trace in stats or metrics.
     respawns: int = 0
+    #: Worker messages dropped because they did not belong to the
+    #: worker's current task — the late reply of a timed-out-then-
+    #: retried task, or a duplicate send.  Mirrored into the
+    #: ``pool.stale_results`` telemetry counter; before this field a
+    #: stale reply was silently misattributed to the wrong task.
+    stale_results: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
@@ -133,6 +139,7 @@ class PoolStats:
             "hung": self.hung,
             "retries": self.retries,
             "respawns": self.respawns,
+            "stale_results": self.stale_results,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
@@ -152,6 +159,7 @@ class PoolStats:
             hung=int(data.get("hung", 0)),  # type: ignore[arg-type]
             retries=int(data.get("retries", 0)),  # type: ignore[arg-type]
             respawns=int(data.get("respawns", 0)),  # type: ignore[arg-type]
+            stale_results=int(data.get("stale_results", 0)),  # type: ignore[arg-type]
             workers=int(data.get("workers", 1)),  # type: ignore[arg-type]
             wall_seconds=float(data.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
             cpu_seconds=float(data.get("cpu_seconds", 0.0)),  # type: ignore[arg-type]

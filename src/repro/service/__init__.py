@@ -17,8 +17,13 @@ The layers, bottom-up:
 * :mod:`repro.service.store` — the persistent result store
   (JSONL-per-shard, append-only); a restarted daemon resumes exactly at
   the first unfinished shard and never re-runs a completed hunt.
-* :mod:`repro.service.queue` — the shard scheduler: pending-work
-  computation plus pool dispatch with incremental persistence.
+* :mod:`repro.service.lease` — shard claim/renew/release records in
+  the same per-shard JSONL, arbitrated by append order: what lets N
+  daemons on N hosts drain one job concurrently, with heartbeat
+  renewal and expiry takeover after a killed peer.
+* :mod:`repro.service.queue` — the shard scheduler: lease-gated
+  pending-work computation plus pool dispatch with incremental
+  persistence.
 * :mod:`repro.service.status` — the live status endpoint.
 * :mod:`repro.service.daemon` — the service itself: a spool of
   submitted manifests, the serve loop, and signal handling.
@@ -31,6 +36,7 @@ and exit code as a from-scratch ``run_campaign`` of the same manifest.
 """
 
 from repro.service.daemon import CampaignService, ServiceConfig
+from repro.service.lease import Lease, LeaseManager, default_owner
 from repro.service.manifest import CampaignManifest, Shard
 from repro.service.queue import JobRunner
 from repro.service.status import StatusServer
@@ -40,10 +46,13 @@ __all__ = [
     "CampaignManifest",
     "CampaignService",
     "JobRunner",
+    "Lease",
+    "LeaseManager",
     "ResultStore",
     "ServiceConfig",
     "Shard",
     "StatusServer",
+    "default_owner",
     "failure_digest",
     "hunt_digest",
 ]

@@ -37,10 +37,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.analysis.pool import ProgressFn
+from repro.service.lease import DEFAULT_LEASE_SECONDS, default_owner
 from repro.service.manifest import CampaignManifest
 from repro.service.queue import JobRunner
 from repro.service.status import StatusServer
 from repro.service.store import ResultStore
+
+#: Store-file signature: (relative path, size, mtime ns) per file — the
+#: cache key for a job's summary.  Any append changes the signature.
+_StoreSignature = Tuple[Tuple[str, int, int], ...]
 
 
 @dataclass(frozen=True)
@@ -61,6 +66,12 @@ class ServiceConfig:
     http_port: Optional[int] = 0
     #: Drain the spool once and exit instead of serving forever.
     once: bool = False
+    #: This daemon's lease owner id (``None`` = ``<hostname>-<pid>``).
+    #: Give each daemon of a fleet a distinct, stable-ish name.
+    owner: Optional[str] = None
+    #: Shard lease lifetime, seconds; a SIGKILL'd daemon's shards are
+    #: taken over by a peer one expiry window after its last heartbeat.
+    lease_seconds: float = DEFAULT_LEASE_SECONDS
 
 
 class CampaignService:
@@ -80,6 +91,14 @@ class CampaignService:
         os.makedirs(self.jobs_dir, exist_ok=True)
         self._started = time.time()
         self._active_job: Optional[str] = None
+        self.owner = config.owner or default_owner()
+        #: Per-job summary cache: store-file signature -> summary dict.
+        #: A status probe on an idle spool is O(stat calls), not
+        #: O(total store lines) — the signature changes on any append.
+        self._summary_cache: Dict[str, Tuple[_StoreSignature, Dict[str, object]]] = {}
+        #: Probes answered from the cache (a deterministic benchmark
+        #: hook; not a public counter).
+        self._summary_cache_hits = 0
 
     # -- paths ---------------------------------------------------------
 
@@ -149,6 +168,8 @@ class CampaignService:
                 workers=self.config.workers,
                 task_timeout=self.config.task_timeout,
                 progress=self.progress,
+                owner=self.owner,
+                lease_seconds=self.config.lease_seconds,
             )
             self._active_job = job_id
             result = runner.run()
@@ -258,12 +279,64 @@ class CampaignService:
                 "root": self.config.root,
                 "workers": self.config.workers,
                 "pid": os.getpid(),
+                "owner": self.owner,
+                "lease_seconds": self.config.lease_seconds,
                 "uptime_seconds": round(time.time() - self._started, 3),
                 "active_job": self._active_job,
             },
             "jobs": jobs,
             "telemetry": telemetry.get_telemetry().snapshot(),
         }
+
+    def _store_signature(self, job_id: str) -> _StoreSignature:
+        """Fingerprint of every store file a summary depends on."""
+        job_dir = self.job_dir(job_id)
+        sig: List[Tuple[str, int, int]] = []
+        shards_dir = os.path.join(job_dir, "shards")
+        try:
+            names = sorted(os.listdir(shards_dir))
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            try:
+                st = os.stat(os.path.join(shards_dir, name))
+            except FileNotFoundError:
+                continue
+            sig.append((f"shards/{name}", st.st_size, st.st_mtime_ns))
+        try:
+            st = os.stat(os.path.join(job_dir, "buckets.jsonl"))
+            sig.append(("buckets.jsonl", st.st_size, st.st_mtime_ns))
+        except FileNotFoundError:
+            pass
+        return tuple(sig)
+
+    def _job_summary(self, job_id: str) -> Dict[str, object]:
+        """The job's ``store.summary()``, cached by file signature.
+
+        Re-parsing every job's full JSONL on each HTTP probe is
+        O(total store lines) per poll — on a long-lived spool a status
+        poller was costing more than the campaigns.  A summary only
+        changes when a store file does, so the (path, size, mtime)
+        signature decides staleness in a handful of ``stat`` calls.
+        """
+        if not os.path.isdir(self.job_dir(job_id)):
+            return {}
+        sig = self._store_signature(job_id)
+        cached = self._summary_cache.get(job_id)
+        if cached is not None and cached[0] == sig:
+            self._summary_cache_hits += 1
+            return cached[1]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            store = ResultStore(self.job_dir(job_id))
+            try:
+                summary = store.summary()
+            finally:
+                store.close()
+        self._summary_cache[job_id] = (sig, summary)
+        return summary
 
     def _job_entry(
         self, job_id: str, manifest: CampaignManifest
@@ -274,15 +347,7 @@ class CampaignService:
             state = "done"
         else:
             state = "queued"
-        summary: Dict[str, object] = {}
-        if os.path.isdir(self.job_dir(job_id)):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", RuntimeWarning)
-                store = ResultStore(self.job_dir(job_id))
-                try:
-                    summary = store.summary()
-                finally:
-                    store.close()
+        summary = self._job_summary(job_id)
         return {
             "id": job_id,
             "name": manifest.name,
@@ -297,6 +362,66 @@ class CampaignService:
                 "detected": summary.get("hunts_detected", 0),
                 "hung": summary.get("hunts_hung", 0),
             },
+            "owners": summary.get("owners", {}),
             "dedup_buckets": summary.get("dedup_buckets", 0),
             "exit_code": self.stored_exit_code(job_id),
+        }
+
+    # -- maintenance ---------------------------------------------------
+
+    def gc(
+        self, *, min_age_seconds: float = 0.0, compact: bool = True
+    ) -> Dict[str, object]:
+        """Reclaim a long-lived root: drop finished jobs' spool entries,
+        sweep ``.tmp`` litter, compact done shards.
+
+        ``result.json``-aware by design: a spool manifest is removed
+        only when its job's ``result.json`` exists (and is at least
+        ``min_age_seconds`` old) — the job is finished and its result
+        durable, so nothing is left for a serve loop to pick up.  An
+        unfinished job's spool entry and store are never touched.
+        """
+        now = time.time()
+        removed_spool: List[str] = []
+        removed_tmp: List[str] = []
+        compacted: Dict[str, Tuple[int, int]] = {}
+        for job_id, _manifest in self.spooled():
+            result = self.result_path(job_id)
+            try:
+                age = now - os.path.getmtime(result)
+            except OSError:
+                continue  # unfinished: keep the spool entry
+            if age < min_age_seconds:
+                continue
+            if compact:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    store = ResultStore(self.job_dir(job_id))
+                    try:
+                        for shard_id, delta in store.compact().items():
+                            compacted[shard_id] = delta
+                    finally:
+                        store.close()
+            os.unlink(self._spool_path(job_id))
+            removed_spool.append(job_id)
+            self._summary_cache.pop(job_id, None)
+        for base in (self.spool_dir, self.jobs_dir):
+            for dirpath, _dirnames, filenames in os.walk(base):
+                for name in filenames:
+                    if name.endswith(".tmp"):
+                        path = os.path.join(dirpath, name)
+                        try:
+                            os.unlink(path)
+                        except OSError:
+                            continue
+                        removed_tmp.append(path)
+        telemetry.count("service.gc_runs")
+        return {
+            "removed_spool": removed_spool,
+            "removed_tmp": removed_tmp,
+            "compacted_shards": len(compacted),
+            "compacted_lines": {
+                "before": sum(b for b, _ in compacted.values()),
+                "after": sum(a for _, a in compacted.values()),
+            },
         }

@@ -1,0 +1,240 @@
+"""Shard leases: N daemons on N hosts draining one job's store.
+
+Shard ids are host-stable (they digest the manifest plus the (seed,
+CPU) pair), so the only thing missing for a fleet is *mutual
+exclusion*: which daemon runs which shard, and what happens when a
+daemon dies mid-shard.  This module adds that as **lease records**
+appended into the same per-shard JSONL the hunts live in — no
+coordinator process, no extra files, the same single-``write(2)``
+``O_APPEND`` crash-safety discipline as every other store line::
+
+    {"v":1,"kind":"lease","op":"claim","shard":id,
+     "owner":"host-pid","time":t,"expires":t+lease_seconds}
+    {"v":1,"kind":"lease","op":"renew", ...}
+    {"v":1,"kind":"lease","op":"release", ...}
+
+**Arbitration is append order.**  ``O_APPEND`` serializes writers, so
+when two daemons race to claim a shard both claim lines land, in some
+order, and replaying the file decides the winner deterministically on
+every host: a ``claim`` is granted only if the shard had no active
+lease at the moment the line was written (no lease, same owner, or the
+previous lease's ``expires`` is at or before the claim's ``time``);
+a ``renew``/``release`` counts only when issued by the current holder.
+A daemon claims by appending its line and then *re-reading the file*;
+it owns the shard exactly when the replay says it does.
+
+**Takeover** falls out of expiry: a SIGKILL'd daemon stops renewing,
+its lease times out, and the next ``claim`` by a live peer is granted.
+Completed work is never lost — the new holder re-reads the shard file
+first, so it re-runs only the hunts the dead peer had not yet recorded
+(and :meth:`ResultStore.record_hunt` is idempotent on identical hunt
+digests, so even an overlap with a *stalled-but-alive* peer cannot
+duplicate a store line).
+
+Leases rely on the hosts' clocks agreeing to within a fraction of
+``lease_seconds``; with the default 30 s that is ordinary NTP
+territory.  Pick a ``lease_seconds`` comfortably larger than both the
+worst-case hunt time for a shard's in-flight window and the cross-host
+clock skew.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro import telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> lease)
+    from repro.service.store import ResultStore
+
+#: Default lease lifetime, seconds.  Renewed at a third of this.
+DEFAULT_LEASE_SECONDS = 30.0
+
+
+def default_owner() -> str:
+    """A fleet-unique owner id: ``<hostname>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class Lease:
+    """The replayed lease state of one shard: who holds it, until when."""
+
+    owner: str
+    expires: float
+
+    def expired(self, now: float) -> bool:
+        return self.expires <= now
+
+
+def apply_lease_line(
+    lease: Optional[Lease], doc: Dict[str, object]
+) -> Optional[Lease]:
+    """Fold one ``kind: lease`` line into the replayed state.
+
+    This is the arbitration rule (see module doc): every host replays
+    the same file and therefore agrees on the holder.  Invalid lines —
+    a losing claim, a renew/release by a non-holder — change nothing.
+    """
+    op = doc.get("op")
+    owner = str(doc.get("owner", ""))
+    expires = float(doc.get("expires", 0.0))  # type: ignore[arg-type]
+    stamped = float(doc.get("time", 0.0))  # type: ignore[arg-type]
+    if op == "claim":
+        if lease is None or lease.owner == owner or lease.expired(stamped):
+            return Lease(owner=owner, expires=expires)
+        return lease
+    if lease is None or lease.owner != owner:
+        return lease
+    if op == "renew":
+        return Lease(owner=owner, expires=expires)
+    if op == "release":
+        return None
+    return lease
+
+
+class LeaseManager:
+    """One daemon's view of a job's shard leases.
+
+    Hands the :class:`~repro.service.queue.JobRunner` only shards that
+    are unclaimed or expired, renews held leases from a heartbeat
+    thread, and re-checks ownership (from disk) before a shard's
+    completion marker is appended.
+    """
+
+    def __init__(
+        self,
+        store: "ResultStore",
+        owner: Optional[str] = None,
+        *,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.store = store
+        self.owner = owner or default_owner()
+        self.lease_seconds = lease_seconds
+        self.clock = clock
+        self._held: Set[str] = set()
+        self._lock = threading.Lock()
+        self._heartbeat: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- queries -------------------------------------------------------
+
+    def held(self) -> List[str]:
+        """Shards this manager believes it currently holds."""
+        with self._lock:
+            return sorted(self._held)
+
+    def holder(self, shard_id: str, *, refresh: bool = True) -> Optional[Lease]:
+        """The shard's active lease (refreshed from disk), if any."""
+        if refresh:
+            self.store.refresh_shard(shard_id)
+        lease = self.store.lease_state(shard_id)
+        if lease is None or lease.expired(self.clock()):
+            return None
+        return lease
+
+    def owns(self, shard_id: str, *, refresh: bool = True) -> bool:
+        """True when the on-disk replay says we hold an unexpired lease."""
+        lease = self.holder(shard_id, refresh=refresh)
+        return lease is not None and lease.owner == self.owner
+
+    # -- lifecycle -----------------------------------------------------
+
+    def claim(self, shard_id: str) -> bool:
+        """Try to take the shard; True exactly when the replay grants it.
+
+        Append-then-re-read: the claim line always lands, but ownership
+        is whatever the file says afterwards — losing a race is a clean
+        ``False``, never a partial state.
+        """
+        holder = self.holder(shard_id)
+        if holder is not None and holder.owner != self.owner:
+            return False
+        now = self.clock()
+        self.store.append_lease(
+            shard_id, "claim", self.owner,
+            time=now, expires=now + self.lease_seconds,
+        )
+        if not self.owns(shard_id):
+            telemetry.count("service.lease_conflicts")
+            return False
+        with self._lock:
+            self._held.add(shard_id)
+        if holder is None and self.store.lease_history(shard_id):
+            # Someone held this shard before us and it was not released:
+            # an expiry takeover (the peer died or stalled past expiry).
+            telemetry.count("service.lease_takeovers")
+        telemetry.count("service.lease_claims")
+        return True
+
+    def renew_all(self) -> None:
+        """Heartbeat body: extend every held lease.
+
+        Blind appends — a renew by a non-holder is ignored on replay,
+        so renewing a lease that was meanwhile taken over is harmless.
+        """
+        now = self.clock()
+        for shard_id in self.held():
+            self.store.append_lease(
+                shard_id, "renew", self.owner,
+                time=now, expires=now + self.lease_seconds,
+            )
+            telemetry.count("service.lease_renewals")
+
+    def release(self, shard_id: str) -> None:
+        """Give the shard up (done, or renouncing after a lost race)."""
+        with self._lock:
+            held = shard_id in self._held
+            self._held.discard(shard_id)
+        if held:
+            now = self.clock()
+            self.store.append_lease(
+                shard_id, "release", self.owner,
+                time=now, expires=now,
+            )
+
+    def release_all(self) -> None:
+        for shard_id in self.held():
+            self.release(shard_id)
+
+    # -- heartbeat -----------------------------------------------------
+
+    def start_heartbeat(self) -> None:
+        """Renew held leases every ``lease_seconds / 3`` until stopped."""
+        if self._heartbeat is not None:
+            return
+        self._stop.clear()
+        interval = self.lease_seconds / 3.0
+
+        def _beat() -> None:
+            while not self._stop.wait(interval):
+                self.renew_all()
+
+        self._heartbeat = threading.Thread(
+            target=_beat, name=f"tsotool-lease-{self.owner}", daemon=True
+        )
+        self._heartbeat.start()
+
+    def stop_heartbeat(self) -> None:
+        if self._heartbeat is None:
+            return
+        self._stop.set()
+        self._heartbeat.join(timeout=5.0)
+        self._heartbeat = None
+
+    def __enter__(self) -> "LeaseManager":
+        self.start_heartbeat()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop_heartbeat()
+        self.release_all()

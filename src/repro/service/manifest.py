@@ -163,6 +163,12 @@ class CampaignManifest:
                 ))
         return out
 
+    def shard_map(self) -> Dict[str, Shard]:
+        """The shard expansion keyed by shard id — the lookup the lease
+        and status layers use to resolve a store's per-shard records
+        back to their (seed, CPU) identity."""
+        return {shard.shard_id: shard for shard in self.shards()}
+
     def hunt_count(self) -> int:
         """Total hunts across all shards."""
         per_seed = sum(len(c.bugs) for c in self.cpu_configs())

@@ -1,26 +1,40 @@
-"""The shard scheduler: pending-work computation and pool dispatch.
+"""The shard scheduler: lease-gated pending-work computation + dispatch.
 
 A :class:`JobRunner` turns one manifest + store pair into pool work:
-it asks the store which hunts are still unrecorded (whole shards, or
-the tail of a shard torn by a crash), dispatches exactly those to
+it asks the store which hunts are still unrecorded (whole shards, the
+tail of a shard torn by a crash, or ``hung`` tombstones due a retry),
+**claims** each shard through a :class:`~repro.service.lease.LeaseManager`
+before touching it, dispatches exactly those hunts to
 :func:`repro.analysis.pool.run_tasks` — the same worker pool, task
 function and per-hunt seed derivation a one-shot ``run_campaign``
 uses — and persists every hunt the moment it completes via the pool's
 ``on_result`` streaming callback.  A shard's completion marker is
-appended as soon as its last hunt lands, so the crash-loss window is
-only the hunts literally in flight; everything recorded before a
-``SIGKILL`` is reused on resume.
+appended as soon as its last hunt lands (after a from-disk ownership
+re-check), so the crash-loss window is only the hunts literally in
+flight; everything recorded before a ``SIGKILL`` is reused on resume.
+
+The lease layer is what makes N runners on N hosts safe on one store:
+each round a runner claims up to ``max(1, workers)`` unclaimed-or-
+expired shards — so concurrent daemons naturally split a job — runs
+them as one pool batch, and loops.  Shards a live peer holds are left
+alone (the runner polls until they resolve or their lease expires);
+because hunts are deterministic functions of (manifest, seed, bug) and
+:meth:`~repro.service.store.ResultStore.record_hunt` is idempotent on
+identical digests, even a stalled peer overlapping a takeover cannot
+corrupt the store.
 
 The merged :class:`~repro.analysis.campaign.CampaignResult` is
 assembled from the store in manifest shard order (seed-major, then CPU,
 then bug index), which for a single-seed manifest is exactly
 ``run_campaign``'s hunt order — tables, detection rate and exit code
-match a from-scratch campaign of the same settings.
+match a from-scratch campaign of the same settings, whether one runner
+drained the job or five.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import telemetry
 from repro.analysis.campaign import (
@@ -30,13 +44,45 @@ from repro.analysis.campaign import (
     _hunt_task,
 )
 from repro.analysis.pool import PoolStats, ProgressFn, run_tasks
+from repro.service.lease import DEFAULT_LEASE_SECONDS, LeaseManager
 from repro.service.manifest import CampaignManifest, Shard
 from repro.service.store import ResultStore
 from repro.sim.cpus import BugSpec, cpu_by_name
 
 
+def _merge_stats(
+    total: Optional[PoolStats], batch: Optional[PoolStats]
+) -> Optional[PoolStats]:
+    """Fold one batch's PoolStats into the job's running total."""
+    if batch is None:
+        return total
+    if total is None:
+        return batch
+    per_worker = dict(total.per_worker)
+    for wid, count in batch.per_worker.items():
+        per_worker[wid] = per_worker.get(wid, 0) + count
+    return PoolStats(
+        tasks=total.tasks + batch.tasks,
+        completed=total.completed + batch.completed,
+        hung=total.hung + batch.hung,
+        retries=total.retries + batch.retries,
+        respawns=total.respawns + batch.respawns,
+        stale_results=total.stale_results + batch.stale_results,
+        workers=max(total.workers, batch.workers),
+        wall_seconds=total.wall_seconds + batch.wall_seconds,
+        cpu_seconds=total.cpu_seconds + batch.cpu_seconds,
+        per_worker=per_worker,
+    )
+
+
 class JobRunner:
-    """Run (or resume) one job: manifest in, persisted hunts out."""
+    """Run (or resume) one job: manifest in, persisted hunts out.
+
+    ``owner`` names this runner in the store's lease records (defaults
+    to ``<hostname>-<pid>``); ``lease_seconds`` is how long a claim
+    survives without a heartbeat renewal; ``poll_seconds`` is how often
+    the runner re-checks shards a live peer currently holds.
+    """
 
     def __init__(
         self,
@@ -46,85 +92,183 @@ class JobRunner:
         workers: int = 1,
         task_timeout: Optional[float] = None,
         progress: Optional[ProgressFn] = None,
+        owner: Optional[str] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_seconds: float = 0.2,
     ) -> None:
         self.manifest = manifest
         self.store = store
         self.workers = workers
         self.task_timeout = task_timeout
         self.progress = progress
+        self.poll_seconds = poll_seconds
+        self.lease = LeaseManager(
+            store, owner, lease_seconds=lease_seconds
+        )
+        #: (shard_id, bug_index) pairs dispatched this session — the
+        #: retry fuse: a hunt that hangs again after its in-session
+        #: retry keeps its tombstone instead of looping forever.
+        self._attempted: Set[Tuple[str, int]] = set()
         store.save_manifest(manifest)
+
+    @property
+    def owner(self) -> str:
+        return self.lease.owner
 
     # -- scheduling ----------------------------------------------------
 
     def pending(self) -> List[Tuple[Shard, List[int]]]:
-        """Shards still lacking a done marker, with their missing hunts."""
+        """Shards not conclusively done, with their missing hunts."""
         return self.store.pending(self.manifest)
 
     def complete(self) -> bool:
         """True when every shard's completion marker is on disk."""
         return not self.pending()
 
+    def _unresolved(self) -> List[Tuple[Shard, List[int]]]:
+        """Pending work this session can still make progress on.
+
+        A done shard whose only missing hunts are tombstones this
+        session already retried is *resolved for this session*: the
+        tombstone stands (exit code 2), and a future resume gets its
+        own fresh retry.  Filtering these here is what terminates the
+        claim loop on a permanently-hanging hunt.
+        """
+        out: List[Tuple[Shard, List[int]]] = []
+        for shard, missing in self.pending():
+            if (
+                missing
+                and self.store.shard_done(shard.shard_id)
+                and all(
+                    (shard.shard_id, i) in self._attempted for i in missing
+                )
+            ):
+                continue
+            out.append((shard, missing))
+        return out
+
+    def _finish_shard(self, shard_id: str) -> None:
+        """Append the completion marker — after an ownership re-check.
+
+        If our lease was taken over (we stalled past expiry and a peer
+        claimed the shard), the peer owns completion now; appending our
+        marker anyway could mark the shard done under the peer's feet
+        with the peer's in-flight hunts unrecorded.
+        """
+        if self.lease.owns(shard_id):
+            self.store.mark_shard_done(shard_id)
+        else:
+            telemetry.count("service.lease_lost")
+        self.lease.release(shard_id)
+
     def run(self) -> CampaignResult:
         """Execute all pending hunts; return the merged job result.
 
         Safe to call on a fresh store (runs everything), a torn store
-        (runs only what is missing) and a complete store (runs nothing
-        and just merges).  A hunt whose worker hung is recorded as a
-        ``hung=True`` hunt — exactly :func:`run_campaign`'s accounting —
-        so the job still completes and reports exit code 2.
+        (runs only what is missing), a complete store (runs nothing and
+        just merges), and concurrently with other runners on other
+        hosts (each claims disjoint shards; this call returns once
+        every shard is done, whoever ran it).  A hunt whose worker hung
+        is recorded as a ``hung=True`` tombstone — the session reports
+        exit code 2, and the next resume retries it.
         """
+        stats: Optional[PoolStats] = None
+        with self.lease:
+            while True:
+                self.store.refresh()
+                unresolved = self._unresolved()
+                if not unresolved:
+                    break
+                claimed, contended = self._claim_round(unresolved)
+                if not claimed:
+                    if not contended:
+                        # Nothing claimable and nobody holds a lease:
+                        # re-read and re-decide (a peer just released,
+                        # or a marker landed between refresh and claim).
+                        continue
+                    time.sleep(self.poll_seconds)
+                    continue
+                stats = _merge_stats(stats, self._run_batch(claimed))
+            self.store.refresh()
+        return self.merged(stats=stats)
+
+    def _claim_round(
+        self, unresolved: List[Tuple[Shard, List[int]]]
+    ) -> Tuple[List[Tuple[Shard, List[int]]], bool]:
+        """Claim up to ``max(1, workers)`` shards; returns (claimed,
+        any-contended).  Marker-only shards (every hunt recorded, the
+        marker itself torn away) are finished on the spot."""
+        claimed: List[Tuple[Shard, List[int]]] = []
+        contended = False
+        for shard, missing in unresolved:
+            if len(claimed) >= max(1, self.workers):
+                break
+            if not self.lease.claim(shard.shard_id):
+                contended = True
+                continue
+            if not missing:
+                self._finish_shard(shard.shard_id)
+                continue
+            todo = [
+                i for i in missing
+                if (shard.shard_id, i) not in self._attempted
+            ]
+            claimed.append((shard, todo or missing))
+        return claimed, contended
+
+    def _run_batch(
+        self, claimed: List[Tuple[Shard, List[int]]]
+    ) -> Optional[PoolStats]:
+        """One pool batch over the claimed shards, persisting as hunts
+        land and marking each shard done at its last hunt."""
         refs: List[Tuple[Shard, int]] = []
         tasks: List[Tuple[BugSpec, str, CampaignConfig, int]] = []
         labels: List[str] = []
         remaining: Dict[str, int] = {}
-        for shard, missing in self.pending():
-            remaining[shard.shard_id] = len(missing)
-            if not missing:
-                # Every hunt landed but the marker was torn away by a
-                # crash: the shard just needs its marker re-appended.
-                self.store.mark_shard_done(shard.shard_id)
-                remaining.pop(shard.shard_id)
-                continue
+        for shard, todo in claimed:
+            remaining[shard.shard_id] = len(todo)
             config = self.manifest.campaign_config(shard.seed)
             bugs = cpu_by_name(shard.cpu).bugs
-            for index in missing:
+            for index in todo:
+                self._attempted.add((shard.shard_id, index))
                 refs.append((shard, index))
                 tasks.append((bugs[index], shard.cpu, config, index))
                 labels.append(f"{shard.shard_id[:8]}:{bugs[index].name}")
+        if not tasks:
+            return None
 
         def persist(task_index: int, hunt: BugHunt) -> None:
             shard, bug_index = refs[task_index]
             self.store.record_hunt(shard.shard_id, bug_index, hunt)
             remaining[shard.shard_id] -= 1
             if remaining[shard.shard_id] == 0:
-                self.store.mark_shard_done(shard.shard_id)
+                self._finish_shard(shard.shard_id)
 
-        stats: Optional[PoolStats] = None
-        if tasks:
-            with telemetry.span(
-                "service.job", job=self.manifest.job_id, hunts=len(tasks)
-            ):
-                results, stats = run_tasks(
-                    _hunt_task,
-                    tasks,
-                    workers=self.workers,
-                    task_timeout=self.task_timeout,
-                    labels=labels,
-                    progress=self.progress,
-                    on_result=persist,
-                )
-            # Hung hunts never reach on_result; record them with the
-            # campaign's hung accounting so the shard (and job) resolve.
-            for task_index, value in enumerate(results):
-                if value is not None:
-                    continue
-                shard, bug_index = refs[task_index]
-                spec = tasks[task_index][0]
-                persist(task_index, BugHunt(
-                    spec=spec, cpu=shard.cpu, detected=False, tests_run=0,
-                    via="worker crashed or timed out", hung=True,
-                ))
-        return self.merged(stats=stats)
+        with telemetry.span(
+            "service.job", job=self.manifest.job_id, hunts=len(tasks)
+        ):
+            results, stats = run_tasks(
+                _hunt_task,
+                tasks,
+                workers=self.workers,
+                task_timeout=self.task_timeout,
+                labels=labels,
+                progress=self.progress,
+                on_result=persist,
+            )
+        # Hung hunts never reach on_result; record them as tombstones
+        # (campaign-compatible hung accounting) so the shard resolves —
+        # this session exits 2, the next resume retries them.
+        for task_index, value in enumerate(results):
+            if value is not None:
+                continue
+            shard, bug_index = refs[task_index]
+            spec = tasks[task_index][0]
+            persist(task_index, BugHunt(
+                spec=spec, cpu=shard.cpu, detected=False, tests_run=0,
+                via="worker crashed or timed out", hung=True,
+            ))
+        return stats
 
     # -- merging -------------------------------------------------------
 

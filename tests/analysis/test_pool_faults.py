@@ -15,6 +15,7 @@ import time
 import pytest
 
 from repro import telemetry
+from repro.analysis import pool as pool_module
 from repro.analysis.pool import _mp_context, run_tasks
 from repro.telemetry import MemorySink
 
@@ -244,6 +245,86 @@ class TestOnResult:
 
         with pytest.raises(RuntimeError, match="sink failed"):
             run_tasks(_faulty, [("ok", 2)], workers=2, on_result=boom)
+
+
+def _double_send_worker_main(worker_id, fn, conn):
+    """A worker that delivers every reply twice — the duplicate/late
+    delivery fault.  Pre-fix, the second copy was credited to whatever
+    task the worker held next, firing ``on_result`` twice for one index
+    (which the service store turned into a job-killing ValueError)."""
+    telemetry.init_worker()
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        index, task = item
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            value = fn(task)
+        except BaseException as exc:  # noqa: BLE001 - mirror the real loop
+            msg = (index, "error", time.perf_counter() - start,
+                   time.process_time() - cpu_start, repr(exc))
+        else:
+            msg = (index, "done", time.perf_counter() - start,
+                   time.process_time() - cpu_start, value)
+        conn.send(msg)
+        conn.send(msg)
+
+
+class TestStaleResults:
+    """Satellite: a late/duplicate worker reply is dropped by its echoed
+    task index, never misattributed or delivered twice."""
+
+    @pytest.fixture
+    def double_send(self, monkeypatch):
+        if _mp_context().get_start_method() != "fork":
+            pytest.skip("double-send injection needs fork inheritance")
+        monkeypatch.setattr(
+            pool_module, "_worker_main", _double_send_worker_main
+        )
+
+    def test_duplicate_replies_are_dropped(self, double_send):
+        seen = []
+        tasks = [("ok", n) for n in range(6)]
+        results, stats = run_tasks(
+            _faulty, tasks, workers=2,
+            on_result=lambda i, v: seen.append(i),
+        )
+        # Results are correct and on_result fired exactly once per task
+        # — the duplicates were dropped, not credited to later tasks.
+        assert results == [n * n for _, n in tasks]
+        assert sorted(seen) == list(range(6))
+        assert stats.completed == 6
+        assert stats.hung == 0
+        assert stats.stale_results >= 1
+
+    def test_duplicate_error_replies_do_not_double_retry(self, double_send):
+        tasks = [("ok", 2), ("raise", 0), ("ok", 3)]
+        results, stats = run_tasks(_faulty, tasks, workers=2)
+        assert results == [4, None, 9]
+        assert stats.hung == 1
+        # One retry per real attempt; the echoed duplicates added none.
+        assert stats.retries == 1
+
+    def test_stale_results_reach_the_telemetry_counter(self, double_send):
+        telemetry.configure(sinks=[MemorySink()])
+        try:
+            run_tasks(_faulty, [("ok", n) for n in range(6)], workers=2)
+            counters = telemetry.get_telemetry().snapshot()["counters"]
+            assert counters.get("pool.stale_results", 0) >= 1
+        finally:
+            telemetry.reset()
+
+    def test_stale_results_round_trip_through_to_dict(self):
+        _, stats = run_tasks(_faulty, [("ok", 2)], workers=2)
+        from repro.core.result import PoolStats
+
+        back = PoolStats.from_dict(stats.to_dict())
+        assert back.stale_results == stats.stale_results == 0
 
 
 class TestProgressAccounting:

@@ -1,0 +1,164 @@
+"""Tests for shard leases: arbitration, claim/renew/release, takeover."""
+
+import time
+import warnings
+
+import pytest
+
+from repro.service.lease import Lease, LeaseManager, apply_lease_line, default_owner
+from repro.service.store import ResultStore
+
+
+def line(op, owner, t, expires):
+    return {
+        "kind": "lease", "op": op, "shard": "s",
+        "owner": owner, "time": t, "expires": expires,
+    }
+
+
+class TestArbitration:
+    """apply_lease_line is the whole protocol: replaying the same lines
+    must give the same holder on every host."""
+
+    def test_claim_on_unclaimed_is_granted(self):
+        lease = apply_lease_line(None, line("claim", "a", 1.0, 11.0))
+        assert lease == Lease(owner="a", expires=11.0)
+
+    def test_losing_claim_changes_nothing(self):
+        lease = apply_lease_line(None, line("claim", "a", 1.0, 11.0))
+        lease = apply_lease_line(lease, line("claim", "b", 2.0, 12.0))
+        assert lease.owner == "a"
+
+    def test_claim_after_expiry_is_a_takeover(self):
+        lease = apply_lease_line(None, line("claim", "a", 1.0, 11.0))
+        lease = apply_lease_line(lease, line("claim", "b", 11.0, 21.0))
+        assert lease == Lease(owner="b", expires=21.0)
+
+    def test_same_owner_reclaim_extends(self):
+        lease = apply_lease_line(None, line("claim", "a", 1.0, 11.0))
+        lease = apply_lease_line(lease, line("claim", "a", 5.0, 15.0))
+        assert lease == Lease(owner="a", expires=15.0)
+
+    def test_renew_by_holder_extends(self):
+        lease = apply_lease_line(None, line("claim", "a", 1.0, 11.0))
+        lease = apply_lease_line(lease, line("renew", "a", 5.0, 15.0))
+        assert lease.expires == 15.0
+
+    def test_renew_by_non_holder_is_ignored(self):
+        lease = apply_lease_line(None, line("claim", "a", 1.0, 11.0))
+        lease = apply_lease_line(lease, line("renew", "b", 5.0, 15.0))
+        assert lease == Lease(owner="a", expires=11.0)
+
+    def test_release_by_holder_clears(self):
+        lease = apply_lease_line(None, line("claim", "a", 1.0, 11.0))
+        assert apply_lease_line(lease, line("release", "a", 5.0, 5.0)) is None
+
+    def test_release_by_non_holder_is_ignored(self):
+        lease = apply_lease_line(None, line("claim", "a", 1.0, 11.0))
+        lease = apply_lease_line(lease, line("release", "b", 5.0, 5.0))
+        assert lease.owner == "a"
+
+
+def managers(tmp_path, *, lease_seconds=10.0):
+    """Two managers on two *separate* store instances over one root —
+    the same setup as two daemon processes sharing a filesystem."""
+    clock = [100.0]
+    store_a = ResultStore(str(tmp_path))
+    store_b = ResultStore(str(tmp_path))
+    a = LeaseManager(store_a, "owner-a", lease_seconds=lease_seconds,
+                     clock=lambda: clock[0])
+    b = LeaseManager(store_b, "owner-b", lease_seconds=lease_seconds,
+                     clock=lambda: clock[0])
+    return a, b, clock
+
+
+class TestLeaseManager:
+    def test_claim_excludes_a_live_peer(self, tmp_path):
+        a, b, clock = managers(tmp_path)
+        assert a.claim("s1")
+        assert not b.claim("s1")
+        assert a.owns("s1") and not b.owns("s1")
+        assert b.holder("s1").owner == "owner-a"
+
+    def test_release_hands_the_shard_over(self, tmp_path):
+        a, b, clock = managers(tmp_path)
+        assert a.claim("s1")
+        a.release("s1")
+        assert b.claim("s1")
+        assert b.owns("s1") and not a.owns("s1")
+
+    def test_expiry_takeover_after_dead_peer(self, tmp_path):
+        a, b, clock = managers(tmp_path)
+        assert a.claim("s1")
+        clock[0] += 20.0  # owner-a "died": no renewals past the window
+        assert b.claim("s1")
+        assert b.owns("s1")
+        assert not a.owns("s1")  # a's next ownership re-check sees it
+
+    def test_renew_keeps_the_lease_alive(self, tmp_path):
+        a, b, clock = managers(tmp_path)
+        assert a.claim("s1")
+        for _ in range(5):
+            clock[0] += 8.0
+            a.renew_all()
+            assert not b.claim("s1")
+        assert a.owns("s1")
+
+    def test_stale_renew_after_takeover_is_harmless(self, tmp_path):
+        a, b, clock = managers(tmp_path)
+        assert a.claim("s1")
+        clock[0] += 20.0
+        assert b.claim("s1")
+        a.renew_all()  # the stalled peer wakes up and blindly renews
+        assert b.owns("s1")
+        assert not a.owns("s1")
+
+    def test_claims_are_disjoint_across_shards(self, tmp_path):
+        a, b, clock = managers(tmp_path)
+        assert a.claim("s1")
+        assert b.claim("s2")
+        assert a.owns("s1") and b.owns("s2")
+        assert not a.claim("s2") and not b.claim("s1")
+
+    def test_context_manager_releases_on_exit(self, tmp_path):
+        a, b, clock = managers(tmp_path)
+        with a:
+            assert a.claim("s1")
+        assert not a.held()
+        assert b.claim("s1")
+
+    def test_replay_is_deterministic_across_readers(self, tmp_path):
+        a, b, clock = managers(tmp_path)
+        a.claim("s1")
+        clock[0] += 20.0
+        b.claim("s1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fresh = ResultStore(str(tmp_path))
+        assert fresh.lease_state("s1").owner == "owner-b"
+
+    def test_heartbeat_thread_renews(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        peer_store = ResultStore(str(tmp_path))
+        a = LeaseManager(store, "owner-a", lease_seconds=0.6)
+        b = LeaseManager(peer_store, "owner-b", lease_seconds=0.6)
+        assert a.claim("s1")
+        a.start_heartbeat()
+        try:
+            deadline = time.monotonic() + 1.5
+            while time.monotonic() < deadline:
+                assert not b.claim("s1")
+                time.sleep(0.1)
+        finally:
+            a.stop_heartbeat()
+        # Heartbeat stopped: the lease expires and the peer takes over.
+        time.sleep(0.8)
+        assert b.claim("s1")
+
+    def test_positive_lease_seconds_required(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(ValueError, match="positive"):
+            LeaseManager(store, "x", lease_seconds=0.0)
+
+    def test_default_owner_shape(self):
+        assert "-" in default_owner()

@@ -55,8 +55,11 @@ class TestKillResume:
         m.save(manifest_path)
         assert main(["submit", manifest_path, "--root", root]) == 0
 
+        # Short lease so the resumed daemon (a different owner) does not
+        # have to wait out the killed daemon's full lease window.
         daemon = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve", "--root", root],
+            [sys.executable, "-m", "repro.cli", "serve", "--root", root,
+             "--lease-seconds", "2"],
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
         )
         try:
@@ -93,9 +96,11 @@ class TestKillResume:
             "kill did not land mid-campaign; tune the manifest size"
         )
 
-        # Resume in-process; the run would raise on any duplicate
-        # record, and exit 0 means every seeded bug was detected.
-        assert main(["serve", "--root", root, "--once", "--no-http"]) == 0
+        # Resume in-process; duplicate-record delivery would surface in
+        # the line-count check below, and exit 0 means every seeded bug
+        # was detected.
+        assert main(["serve", "--root", root, "--once", "--no-http",
+                     "--lease-seconds", "2"]) == 0
 
         # No hunt executed twice: every (shard, bug) appears exactly
         # once across the whole store, and everything recorded before

@@ -82,11 +82,51 @@ class TestRecording:
         assert fresh.shard_done("shard-a")
         assert fresh.hunt_digests() == {digest}
 
-    def test_duplicate_record_raises(self, tmp_path):
+    def test_identical_duplicate_record_is_idempotent(self, tmp_path):
+        """A duplicate delivery of the *same* hunt (a late pool reply, a
+        fleet overlap) is a no-op: no second line, same return value."""
         store = ResultStore(str(tmp_path))
-        store.record_hunt("shard-a", 0, make_hunt())
+        digest, dedup = store.record_hunt("shard-a", 0, make_hunt())
+        again = store.record_hunt("shard-a", 0, make_hunt())
+        assert again == (digest, dedup)
+        path = os.path.join(str(tmp_path), "shards", "shard-a.jsonl")
+        lines = [json.loads(x) for x in open(path) if x.strip()]
+        assert sum(1 for d in lines if d["kind"] == "hunt") == 1
+
+    def test_conflicting_record_raises(self, tmp_path):
+        """Two *different* real outcomes for one (shard, bug) is a
+        scheduler bug, never silently absorbed."""
+        store = ResultStore(str(tmp_path))
+        store.record_hunt("shard-a", 0, make_hunt(detected=True))
         with pytest.raises(ValueError, match="already"):
-            store.record_hunt("shard-a", 0, make_hunt())
+            store.record_hunt("shard-a", 0, make_hunt(detected=False))
+
+    def test_real_result_supersedes_hung_tombstone(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        hung = BugHunt(
+            spec=cpu_by_name("CPU1").bugs[0], cpu="CPU1", detected=False,
+            tests_run=0, via="worker crashed or timed out", hung=True,
+        )
+        store.record_hunt("shard-a", 0, hung)
+        real = make_hunt()
+        store.record_hunt("shard-a", 0, real)
+        assert store.completed_hunts("shard-a") == {0: real}
+        store.close()
+        # The replacement wins on replay too (later line supersedes).
+        fresh = ResultStore(str(tmp_path))
+        assert fresh.completed_hunts("shard-a") == {0: real}
+        assert not fresh.completed_hunts("shard-a")[0].hung
+
+    def test_late_hung_tombstone_never_clobbers_a_real_result(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        real = make_hunt()
+        digest, _ = store.record_hunt("shard-a", 0, real)
+        hung = BugHunt(
+            spec=cpu_by_name("CPU1").bugs[0], cpu="CPU1", detected=False,
+            tests_run=0, via="worker crashed or timed out", hung=True,
+        )
+        assert store.record_hunt("shard-a", 0, hung)[0] == digest
+        assert store.completed_hunts("shard-a") == {0: real}
 
     def test_dedup_buckets_identical_detections(self, tmp_path):
         store = ResultStore(str(tmp_path))
@@ -175,6 +215,180 @@ class TestCrashRecovery:
         with pytest.warns(RuntimeWarning):
             fresh = ResultStore(str(tmp_path))
         assert set(fresh.completed_hunts("a")) == {0}
+
+
+class TestMarkerValidation:
+    """Satellite: a done marker outliving a torn mid-file hunt line must
+    not wedge the job (pending() skipping it while merged() raises)."""
+
+    def _done_store(self, tmp_path):
+        m = manifest()
+        shard = m.shards()[0]
+        store = ResultStore(str(tmp_path))
+        for i in range(shard.hunt_count()):
+            store.record_hunt(shard.shard_id, i, make_hunt(i))
+        store.mark_shard_done(shard.shard_id)
+        store.close()
+        path = os.path.join(str(tmp_path), "shards",
+                            f"{shard.shard_id}.jsonl")
+        return m, shard, path
+
+    def test_marker_with_missing_hunts_demotes_shard(self, tmp_path):
+        m, shard, path = self._done_store(tmp_path)
+        lines = open(path).read().splitlines(True)
+        # Corrupt a *mid-file* hunt line; the done marker survives.
+        with open(path, "w") as fh:
+            fh.write(lines[0])
+            fh.write(lines[1][: len(lines[1]) // 2] + "\n")
+            for line in lines[2:]:
+                fh.write(line)
+        with pytest.warns(RuntimeWarning, match="demoting"):
+            store = ResultStore(str(tmp_path))
+        assert not store.shard_done(shard.shard_id)
+        # The missing hunt is re-queued; intact ones are reused.
+        pending = store.pending(m)
+        assert [(s.shard_id, missing) for s, missing in pending] == [
+            (shard.shard_id, [1])
+        ]
+
+    def test_demoted_shard_completes_on_resume(self, tmp_path):
+        m, shard, path = self._done_store(tmp_path)
+        lines = open(path).read().splitlines(True)
+        with open(path, "w") as fh:
+            fh.write(lines[0])
+            fh.write(lines[1][: len(lines[1]) // 2] + "\n")
+            for line in lines[2:]:
+                fh.write(line)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            store = ResultStore(str(tmp_path))
+        # Resume records the missing hunt and re-marks the shard: the
+        # wedge (pending empty + merged raising forever) is gone.
+        store.record_hunt(shard.shard_id, 1, make_hunt(1))
+        store.mark_shard_done(shard.shard_id)
+        assert store.pending(m) == []
+        store.close()
+        fresh = ResultStore(str(tmp_path))
+        assert fresh.shard_done(shard.shard_id)
+        assert fresh.pending(m) == []
+
+    def test_pending_checks_marker_against_manifest_hunt_count(
+        self, tmp_path
+    ):
+        """A marker consistent with its *loaded* records but short of the
+        manifest's hunt count still re-queues the difference."""
+        m = manifest()
+        shard = m.shards()[0]
+        store = ResultStore(str(tmp_path))
+        store.record_hunt(shard.shard_id, 0, make_hunt(0))
+        store.mark_shard_done(shard.shard_id)  # marker says 1 hunt
+        assert shard.hunt_count() > 1
+        pending = store.pending(m)
+        assert [(s.shard_id, missing) for s, missing in pending] == [
+            (shard.shard_id, list(range(1, shard.hunt_count())))
+        ]
+
+
+class TestHungRequeue:
+    """Satellite: a hung record is a tombstone, not a completion —
+    resume retries it by default instead of pinning exit code 2."""
+
+    def _hung(self, bug_index=0):
+        return BugHunt(
+            spec=cpu_by_name("CPU1").bugs[bug_index], cpu="CPU1",
+            detected=False, tests_run=0,
+            via="worker crashed or timed out", hung=True,
+        )
+
+    def test_pending_requeues_hung_hunts(self, tmp_path):
+        m = manifest()
+        shard = m.shards()[0]
+        store = ResultStore(str(tmp_path))
+        for i in range(shard.hunt_count()):
+            store.record_hunt(
+                shard.shard_id, i, self._hung(i) if i == 1 else make_hunt(i)
+            )
+        store.mark_shard_done(shard.shard_id)
+        store.close()
+        fresh = ResultStore(str(tmp_path))
+        pending = fresh.pending(m)
+        assert [(s.shard_id, missing) for s, missing in pending] == [
+            (shard.shard_id, [1])
+        ]
+
+    def test_requeue_hung_false_keeps_tombstones_final(self, tmp_path):
+        m = manifest()
+        shard = m.shards()[0]
+        store = ResultStore(str(tmp_path))
+        for i in range(shard.hunt_count()):
+            store.record_hunt(
+                shard.shard_id, i, self._hung(i) if i == 1 else make_hunt(i)
+            )
+        store.mark_shard_done(shard.shard_id)
+        store.close()
+        fresh = ResultStore(str(tmp_path), requeue_hung=False)
+        assert fresh.pending(m) == []
+
+
+class TestCompaction:
+    """Satellite: compaction preserves the hunt-digest set, the stored
+    dedup references and schedule_for resolution."""
+
+    def test_compact_preserves_digests_and_dedup(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        first = make_hunt(schedule=make_schedule())
+        store.record_hunt("shard-a", 0, first)
+        store.record_hunt("shard-b", 0, first)   # bucketed duplicate
+        store.record_hunt("shard-a", 1, make_hunt(1, detected=False))
+        # Lease churn + a superseded tombstone: all compacted away.
+        store.append_lease("shard-a", "claim", "h1-1", time=1.0, expires=9.0)
+        hung = BugHunt(
+            spec=cpu_by_name("CPU1").bugs[2], cpu="CPU1", detected=False,
+            tests_run=0, via="worker crashed or timed out", hung=True,
+        )
+        store.record_hunt("shard-a", 2, hung)
+        store.record_hunt("shard-a", 2, make_hunt(2))
+        store.append_lease("shard-a", "release", "h1-1", time=2.0, expires=2.0)
+        store.mark_shard_done("shard-a")
+        store.mark_shard_done("shard-b")
+        digests = store.hunt_digests()
+        bucket = failure_digest(first)
+
+        deltas = store.compact()
+        assert set(deltas) == {"shard-a", "shard-b"}
+        before, after = deltas["shard-a"]
+        assert after == 4  # three winning hunts + one marker
+        assert before > after
+        store.close()
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a torn rewrite would warn
+            fresh = ResultStore(str(tmp_path))
+        assert fresh.hunt_digests() == digests
+        assert fresh.shard_done("shard-a") and fresh.shard_done("shard-b")
+        assert not fresh.completed_hunts("shard-a")[2].hung
+        # The bucketed duplicate still resolves to the canonical trace.
+        assert fresh.completed_hunts("shard-b")[0].schedule is None
+        assert fresh.schedule_for(bucket) == first.schedule
+
+    def test_compact_refuses_live_shards(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.record_hunt("shard-a", 0, make_hunt())
+        with pytest.raises(ValueError, match="not done"):
+            store.compact_shard("shard-a")
+        assert store.compact() == {}
+
+    def test_append_after_compact_lands_in_the_new_file(self, tmp_path):
+        """The cached O_APPEND fd must not keep writing to the unlinked
+        pre-compaction inode."""
+        store = ResultStore(str(tmp_path))
+        store.record_hunt("shard-a", 0, make_hunt(0))
+        store.mark_shard_done("shard-a")
+        store.compact_shard("shard-a")
+        store.record_hunt("shard-a", 1, make_hunt(1))
+        store.close()
+        fresh = ResultStore(str(tmp_path))
+        assert set(fresh.completed_hunts("shard-a")) == {0, 1}
 
 
 class TestSummary:
