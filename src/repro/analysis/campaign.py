@@ -28,7 +28,9 @@ from repro import telemetry
 from repro.analysis.pool import ProgressFn, run_tasks
 from repro.analysis.replay import bug_spec_from_meta, hunt_trace_meta
 from repro.core.api import DEFAULT_ENGINE, check
+from repro.core.context import CheckContext
 from repro.core.policy import TSO, MemoryModel
+from repro.core.stream import DEFAULT_WINDOW, stream_check_machine
 from repro.core.result import PoolStats
 from repro.generator.config import GeneratorConfig, InstructionMix
 from repro.generator.generator import generate_program
@@ -59,6 +61,23 @@ class CampaignConfig:
         engine: checker engine used to triage every run (any key of
             :data:`repro.core.api.ENGINES`); the engines agree on
             verdicts, so this only changes triage speed.
+        batch: hunts dispatched per pool task (``>= 1``).  Batching
+            amortizes the per-task fixed costs — task pickling and pipe
+            round-trips, worker telemetry flushes — and lets the hunts
+            of a batch share warm state (a reset :class:`TsoMachine`,
+            reused checker buffers) via :class:`HuntScratch`.  Every
+            hunt's seed stream is derived from (campaign seed, cpu, bug
+            index) alone, so results are hunt-for-hunt identical for
+            any batch size.
+        pipeline: overlap checking with simulation per attempt using
+            the streaming checker (architecture/design hunts only):
+            the run is checked as records retire and a violating seed
+            aborts at the closing record, then that one attempt is
+            re-run conventionally for the canonical verdict — hunts
+            stay identical to the non-pipelined path.  Monitor and
+            environment hunts always triage conventionally (their
+            verdicts consult post-run machine state, and the observer
+            hook changes where observation faults draw their RNG).
     """
 
     tests_per_bug: int = 10
@@ -79,6 +98,12 @@ class CampaignConfig:
     seed: int = 2004
     sched: SchedSpec = field(default_factory=SchedSpec)
     engine: str = DEFAULT_ENGINE
+    batch: int = 1
+    pipeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
 
 
 @dataclass
@@ -95,6 +120,12 @@ class BugHunt:
     plus the reconstruction metadata, so the failure can be re-executed
     exactly with :func:`repro.analysis.replay.replay_hunt` — even from a
     different process than the pool worker that found it.
+
+    ``ops`` counts the dynamic operations this hunt simulated across
+    its attempts — throughput accounting for the fleet status endpoint.
+    Like ``schedule`` it is excluded from the hunt digest: a pipelined
+    hunt aborts violating runs early and so simulates fewer ops than
+    the conventional path while reaching the identical verdict.
     """
 
     spec: BugSpec
@@ -105,6 +136,7 @@ class BugHunt:
     via: str = ""
     hung: bool = False
     schedule: Optional[str] = None
+    ops: int = 0
 
     @property
     def unit(self) -> FuncUnit:
@@ -140,6 +172,7 @@ class BugHunt:
             "via": self.via,
             "hung": self.hung,
             "schedule": self.schedule,
+            "ops": self.ops,
         }
 
     @classmethod
@@ -155,6 +188,7 @@ class BugHunt:
             via=str(data.get("via", "")),
             hung=bool(data.get("hung", False)),
             schedule=None if data.get("schedule") is None else str(data["schedule"]),
+            ops=int(data.get("ops", 0)),  # type: ignore[arg-type]
         )
 
 
@@ -285,14 +319,71 @@ class CampaignResult:
         )
 
 
+class HuntScratch:
+    """Reusable per-worker state shared by the hunts of a batch.
+
+    Holds one :class:`TsoMachine` slot (reset between attempts instead
+    of re-constructed) and one :class:`~repro.core.context.CheckContext`
+    (checker frontier buffers wiped, not re-allocated).  Single-process
+    scratch: a scratch never crosses a pool-task boundary, so batched
+    and unbatched campaigns stay hunt-for-hunt identical.
+    """
+
+    def __init__(self) -> None:
+        self.machine: Optional[TsoMachine] = None
+        self.context = CheckContext()
+
+    def arm_machine(
+        self, program, seed: int, machine_config: MachineConfig,
+        faults, policy,
+    ) -> TsoMachine:
+        """A machine armed for this attempt: reset when possible."""
+        machine = self.machine
+        if machine is None or machine.config != machine_config:
+            machine = TsoMachine(
+                program, seed=seed, config=machine_config, faults=faults,
+                policy=policy,
+            )
+            self.machine = machine
+            return machine
+        return machine.reset(
+            program, seed=seed, faults=faults, policy=policy
+        )
+
+
+def _pipeline_applies(spec: BugSpec, config: CampaignConfig) -> bool:
+    """Whether an attempt may stream-check instead of run-then-check.
+
+    Only architecture/design hunts qualify: their triage is exactly
+    "does the observed run pass analysis", their faults never corrupt
+    the observation path (so the observer hook sees the same records
+    the batch path would), and the verdict carries no post-run machine
+    state.  Programs must also fit the streaming window with margin —
+    retirement may lose inference on longer runs, and pipeline mode
+    promises verdicts identical to the conventional path.
+    """
+    if not config.pipeline:
+        return False
+    if spec.bug_class not in (BugClass.ARCHITECTURE, BugClass.DESIGN):
+        return False
+    slots = config.generator.nprocs * config.generator.ops_per_proc
+    return slots <= DEFAULT_WINDOW // 2
+
+
 def hunt_bug(
-    spec: BugSpec, cpu_name: str, config: CampaignConfig, bug_index: int = 0
+    spec: BugSpec,
+    cpu_name: str,
+    config: CampaignConfig,
+    bug_index: int = 0,
+    scratch: Optional[HuntScratch] = None,
 ) -> BugHunt:
     """Hunt one seeded bug with freshly generated tests.
 
     One fault is active per run (the paper root-causes failures one at a
     time); the seed stream is derived from the campaign seed, the CPU
-    name and the bug index so campaigns are exactly reproducible.
+    name and the bug index so campaigns are exactly reproducible —
+    independent of batching, workers, ``scratch`` reuse and pipeline
+    mode, all of which only change *how* the identical runs execute.
     """
     # zlib.crc32 rather than hash(): str hashing is randomized per
     # process, which would make campaigns unreproducible across runs.
@@ -301,18 +392,46 @@ def hunt_bug(
         + (zlib.crc32(cpu_name.encode()) % 1_000_003) * 101
         + bug_index * 7_919
     )
+    context = scratch.context if scratch is not None else None
+    pipelined = _pipeline_applies(spec, config)
+
+    def arm(seed: int) -> TsoMachine:
+        fault = spec.instantiate()
+        policy = make_policy(config.sched, seed=seed)
+        if scratch is None:
+            return TsoMachine(
+                program, seed=seed, config=config.machine, faults=[fault],
+                policy=policy,
+            )
+        return scratch.arm_machine(
+            program, seed, config.machine, [fault], policy
+        )
+
+    ops = 0
     with telemetry.span("hunt", bug=spec.name, cpu=cpu_name):
         for attempt in range(config.tests_per_bug):
             seed = base + attempt
             program = generate_program(config.generator, seed=seed)
-            fault = spec.instantiate()
-            machine = TsoMachine(
-                program, seed=seed, config=config.machine, faults=[fault],
-                policy=make_policy(config.sched, seed=seed),
-            )
+            machine = arm(seed)
+            if pipelined:
+                # Check as records retire; a violating seed aborts at
+                # the closing record instead of finishing the program.
+                stream_result, _ = stream_check_machine(
+                    machine, model=config.model, stop_on_violation=True
+                )
+                ops += sum(len(cpu.records) for cpu in machine.cpus)
+                if stream_result.ok:
+                    continue
+                # Flagged: re-run this one attempt conventionally so
+                # verdict, via string and witness match the unbatched
+                # path exactly (one extra simulation per detection,
+                # the _record_detection trade).
+                machine = arm(seed)
             observed = machine.run()
+            ops += sum(len(cpu.records) for cpu in machine.cpus)
             detected, via = _triage(
-                spec, program, machine, observed, config.model, config.engine
+                spec, program, machine, observed, config.model,
+                config.engine, context=context,
             )
             if detected:
                 return BugHunt(
@@ -321,11 +440,33 @@ def hunt_bug(
                     schedule=_record_detection(
                         spec, cpu_name, config, seed, via
                     ),
+                    ops=ops,
                 )
         return BugHunt(
             spec=spec, cpu=cpu_name, detected=False,
-            tests_run=config.tests_per_bug,
+            tests_run=config.tests_per_bug, ops=ops,
         )
+
+
+def hunt_batch(
+    hunts: Sequence[Tuple[BugSpec, str, int]],
+    config: CampaignConfig,
+    scratch: Optional[HuntScratch] = None,
+) -> List[BugHunt]:
+    """Hunt several seeded bugs in one call, sharing warm state.
+
+    The batched-dispatch unit: a pool task carrying B independent
+    ``(spec, cpu name, bug index)`` hunts pays one task round-trip and
+    one worker telemetry flush for all of them, and the hunts share one
+    :class:`HuntScratch` (machine resets + checker-buffer reuse).  Each
+    hunt's outcome is identical to :func:`hunt_bug` run alone.
+    """
+    scratch = scratch or HuntScratch()
+    telemetry.record("pool.batch_size", len(hunts))
+    return [
+        hunt_bug(spec, cpu_name, config, bug_index=index, scratch=scratch)
+        for spec, cpu_name, index in hunts
+    ]
 
 
 def _record_detection(
@@ -359,24 +500,28 @@ def _triage(
     observed,
     model: MemoryModel,
     engine: str = DEFAULT_ENGINE,
+    context: Optional[CheckContext] = None,
 ) -> Tuple[bool, str]:
     """Classify one run's outcome against the hunted bug's class."""
     if spec.bug_class == BugClass.MONITOR:
         if machine.monitor_alarms and check(
-            program, observed, model=model, engine=engine
+            program, observed, model=model, engine=engine, context=context
         ).ok:
             return True, "spurious monitor alarm on a TSO-clean run"
         return False, ""
     if spec.bug_class == BugClass.ENVIRONMENT:
-        if not check(program, observed, model=model, engine=engine).ok:
+        if not check(
+            program, observed, model=model, engine=engine, context=context
+        ).ok:
             true_result = check(
-                program, machine.true_execution, model=model, engine=engine
+                program, machine.true_execution, model=model, engine=engine,
+                context=context,
             )
             if true_result.ok:
                 return True, "observed trace fails analysis, true trace passes"
         return False, ""
     # Architecture / design: the machine itself misbehaved.
-    result = check(program, observed, model=model, engine=engine)
+    result = check(program, observed, model=model, engine=engine, context=context)
     if not result.ok:
         return True, f"TSO violation ({result.violation.kind.value})"
     return False, ""
@@ -386,6 +531,14 @@ def _hunt_task(task: Tuple[BugSpec, str, CampaignConfig, int]) -> BugHunt:
     """Picklable pool entry point: hunt one seeded bug in a worker."""
     spec, cpu_name, config, bug_index = task
     return hunt_bug(spec, cpu_name, config, bug_index=bug_index)
+
+
+def _hunt_batch_task(
+    task: Tuple[Sequence[Tuple[BugSpec, str, int]], CampaignConfig],
+) -> List[BugHunt]:
+    """Picklable pool entry point: hunt a batch of seeded bugs in a worker."""
+    hunts, config = task
+    return hunt_batch(hunts, config)
 
 
 def run_campaign(
@@ -406,33 +559,73 @@ def run_campaign(
     seed.  A hunt whose worker crashes or exceeds ``task_timeout`` twice
     is recorded with ``hung=True`` (and counts as undetected).
 
+    With ``config.batch > 1`` hunts are grouped so each pool task
+    carries a whole batch (see :func:`hunt_batch`); a hung batch task
+    tombstones every member hunt.  Note ``task_timeout`` then covers a
+    batch, not a single hunt — scale it with the batch size.
+
     With ``record_dir`` set, every detected hunt's
     :class:`~repro.sched.trace.ScheduleTrace` is persisted there as
     ``<bug-name>.schedule.json`` — each file replayable on its own with
     ``tsotool replay`` / :func:`repro.analysis.replay.replay_hunt`.
     """
     config = config or CampaignConfig()
-    tasks: List[Tuple[BugSpec, str, CampaignConfig, int]] = []
+    work: List[Tuple[BugSpec, str, int]] = []
     for cpu in cpus:
         for index, spec in enumerate(cpu.bugs):
-            tasks.append((spec, cpu.name, config, index))
-    results, stats = run_tasks(
-        _hunt_task,
-        tasks,
-        workers=workers,
-        task_timeout=task_timeout,
-        labels=[spec.name for spec, _, _, _ in tasks],
-        progress=progress,
-    )
+            work.append((spec, cpu.name, index))
     hunts: List[BugHunt] = []
-    for task, hunt in zip(tasks, results):
-        if hunt is None:
-            spec, cpu_name, _, _ = task
-            hunt = BugHunt(
-                spec=spec, cpu=cpu_name, detected=False, tests_run=0,
-                via="worker crashed or timed out", hung=True,
-            )
-        hunts.append(hunt)
+    if config.batch > 1:
+        # Batched dispatch: B hunts ride one pool task (one round-trip,
+        # one worker telemetry flush, shared HuntScratch).  Chunking is
+        # pure grouping — each hunt's seeds come from (seed, cpu, bug
+        # index), so the hunt set matches the unbatched path exactly.
+        chunks = [
+            work[i : i + config.batch]
+            for i in range(0, len(work), config.batch)
+        ]
+        results, stats = run_tasks(
+            _hunt_batch_task,
+            [(chunk, config) for chunk in chunks],
+            workers=workers,
+            task_timeout=task_timeout,
+            labels=[
+                chunk[0][0].name
+                + (f" (+{len(chunk) - 1})" if len(chunk) > 1 else "")
+                for chunk in chunks
+            ],
+            progress=progress,
+        )
+        for chunk, batch in zip(chunks, results):
+            if batch is None:
+                # The whole chunk's worker crashed or timed out: every
+                # member hunt gets a tombstone, never a silent drop.
+                batch = [
+                    BugHunt(
+                        spec=spec, cpu=cpu_name, detected=False, tests_run=0,
+                        via="worker crashed or timed out", hung=True,
+                    )
+                    for spec, cpu_name, _ in chunk
+                ]
+            hunts.extend(batch)
+    else:
+        tasks = [(spec, cpu_name, config, index) for spec, cpu_name, index in work]
+        results, stats = run_tasks(
+            _hunt_task,
+            tasks,
+            workers=workers,
+            task_timeout=task_timeout,
+            labels=[spec.name for spec, _, _ in work],
+            progress=progress,
+        )
+        for task, hunt in zip(tasks, results):
+            if hunt is None:
+                spec, cpu_name, _, _ = task
+                hunt = BugHunt(
+                    spec=spec, cpu=cpu_name, detected=False, tests_run=0,
+                    via="worker crashed or timed out", hung=True,
+                )
+            hunts.append(hunt)
     if record_dir is not None:
         os.makedirs(record_dir, exist_ok=True)
         for hunt in hunts:

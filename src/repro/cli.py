@@ -334,11 +334,16 @@ def _require_workers_for_timeout(args: argparse.Namespace) -> bool:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if not _require_workers_for_timeout(args):
         return 2
+    if args.batch < 1:
+        print("--batch must be >= 1", file=sys.stderr)
+        return 2
     config = CampaignConfig(
         tests_per_bug=args.tests_per_bug,
         seed=args.seed,
         sched=SchedSpec(kind=args.sched, pct_depth=args.pct_depth),
         engine=args.engine,
+        batch=args.batch,
+        pipeline=args.pipeline,
     )
     kwargs = {}
     if args.cpu:
@@ -410,6 +415,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.lease_seconds <= 0:
         print("--lease-seconds must be positive", file=sys.stderr)
         return 2
+    if args.batch is not None and args.batch < 1:
+        print("--batch must be >= 1", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         root=args.root,
         workers=args.workers,
@@ -420,6 +428,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         once=args.once,
         owner=args.owner,
         lease_seconds=args.lease_seconds,
+        batch=args.batch,
     )
     service = CampaignService(
         config, progress=_pool_progress if args.workers > 1 else None
@@ -480,7 +489,21 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(line)
         owners = job.get("owners") or {}
         for owner in sorted(owners):
-            print(f"    leased by {owner}: {owners[owner]} shard(s)")
+            stats = owners[owner]
+            if not isinstance(stats, dict):
+                # Payload from a pre-throughput daemon: plain counts.
+                print(f"    leased by {owner}: {stats} shard(s)")
+                continue
+            line = (
+                f"    {owner}: {stats.get('active_shards', 0)} active "
+                f"shard(s), {stats.get('hunts', 0)} hunt(s)"
+            )
+            if stats.get("hunts_per_s"):
+                line += (
+                    f", {stats['hunts_per_s']} hunts/s, "
+                    f"{stats.get('ops_per_s', 0.0)} ops/s"
+                )
+            print(line)
     return 0
 
 
@@ -689,6 +712,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=sorted(ENGINES),
                    default=DEFAULT_ENGINE,
                    help="checker engine for hunt triage")
+    p.add_argument("--batch", type=int, default=1,
+                   help="hunts dispatched per pool task (default: 1); "
+                        "batching amortizes task round-trips and reuses "
+                        "warm machine/checker state — results are "
+                        "identical for any value (docs/performance.md). "
+                        "Note --task-timeout then covers a whole batch")
+    p.add_argument("--pipeline", action="store_true",
+                   help="overlap checking with simulation per attempt "
+                        "(streaming checker; violating seeds abort at "
+                        "the closing record) — verdicts identical to "
+                        "the conventional path")
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -741,6 +775,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard lease lifetime in seconds (default: 30); "
                         "a killed daemon's shards are taken over by a "
                         "peer after one expiry window")
+    p.add_argument("--batch", type=int, default=None,
+                   help="hunts per pool task, overriding each "
+                        "manifest's batch setting (default: the "
+                        "manifest decides); drains are digest-identical "
+                        "for any value")
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_serve)
 

@@ -29,6 +29,7 @@ from typing import Dict, Optional
 from repro import telemetry
 from repro.core.checker import BaselineChecker
 from repro.core.closure import ClosureChecker
+from repro.core.context import CheckContext
 from repro.core.kernels import HAVE_NUMPY
 from repro.core.policy import MemoryModel, TSO
 from repro.core.result import CheckResult
@@ -60,13 +61,33 @@ if HAVE_NUMPY:
 DEFAULT_ENGINE = "vc"
 
 
-def make_checker(model: MemoryModel = TSO, engine: str = DEFAULT_ENGINE):
-    """Instantiate a checker engine by name (see :data:`ENGINES`)."""
+def make_checker(
+    model: MemoryModel = TSO,
+    engine: str = DEFAULT_ENGINE,
+    context: Optional["CheckContext"] = None,
+):
+    """Instantiate a checker engine by name (see :data:`ENGINES`).
+
+    ``context`` is an optional :class:`~repro.core.context.CheckContext`
+    whose scratch buffers the engine reuses across runs (the batched
+    campaign path).  Engines that accept it natively get it as a
+    constructor argument; the rest carry it as a plain ``context``
+    attribute and simply ignore it — so one reuse-parity suite can run
+    every engine against the same context.
+    """
     try:
         cls = ENGINES[engine]
     except KeyError:
         raise ValueError(f"unknown engine {engine!r}; choose from {sorted(ENGINES)}")
-    return cls(model)
+    if context is None:
+        return cls(model)
+    try:
+        return cls(model, context=context)
+    except TypeError:
+        checker = cls(model)
+        checker.context = context
+        context.checks += 1
+        return checker
 
 
 def check_execution(
@@ -75,6 +96,7 @@ def check_execution(
     word_names: Optional[Dict[int, str]] = None,
     model: MemoryModel = TSO,
     engine: str = DEFAULT_ENGINE,
+    context: Optional["CheckContext"] = None,
 ) -> CheckResult:
     """Check a raw execution trace against a memory model.
 
@@ -86,7 +108,7 @@ def check_execution(
     with telemetry.span("expand"):
         aprog = expand(execution, initial=initial, word_names=word_names)
     with telemetry.span("check", engine=engine, model=model.name):
-        return make_checker(model, engine).run(aprog)
+        return make_checker(model, engine, context=context).run(aprog)
 
 
 def check(
@@ -94,6 +116,7 @@ def check(
     execution: Execution,
     model: MemoryModel = TSO,
     engine: str = DEFAULT_ENGINE,
+    context: Optional["CheckContext"] = None,
 ) -> CheckResult:
     """Check a program's observed execution against a memory model."""
     return check_execution(
@@ -102,6 +125,7 @@ def check(
         word_names=program.word_names,
         model=model,
         engine=engine,
+        context=context,
     )
 
 

@@ -74,6 +74,7 @@ def build_frontiers(
     succ: Sequence[Sequence[int]],
     chain_of: Sequence[int],
     pos_of: Sequence[int],
+    out=None,
 ):
     """One-pass closure DP producing both frontier matrices.
 
@@ -84,9 +85,20 @@ def build_frontiers(
     merge kernel — ``np.maximum``/``np.minimum`` over the already-final
     parent/child chain rows, nodes visited in topological order
     (scalar reference: :func:`build_frontiers_scalar`).
+
+    ``out``, when given, is a pre-allocated ``(m_to, m_from)`` pair of
+    ``(n, k)`` int64 arrays to fill in place instead of allocating —
+    the wipe is a constant-fill, so a checker context can hand the same
+    buffers to every seed of a batch (see :mod:`repro.core.context`).
     """
     inf = n + 1
-    m_to = np.full((n, k), -1, dtype=np.int64)
+    if out is not None:
+        m_to, m_from = out
+        m_to.fill(-1)
+        m_from.fill(inf)
+    else:
+        m_to = np.full((n, k), -1, dtype=np.int64)
+        m_from = np.full((n, k), inf, dtype=np.int64)
     for node in order:
         parents = pred[node]
         row = m_to[node]
@@ -97,7 +109,6 @@ def build_frontiers(
         chain = chain_of[node]
         if pos_of[node] > row[chain]:
             row[chain] = pos_of[node]
-    m_from = np.full((n, k), inf, dtype=np.int64)
     for node in reversed(order):
         children = succ[node]
         row = m_from[node]

@@ -72,6 +72,10 @@ class ServiceConfig:
     #: Shard lease lifetime, seconds; a SIGKILL'd daemon's shards are
     #: taken over by a peer one expiry window after its last heartbeat.
     lease_seconds: float = DEFAULT_LEASE_SECONDS
+    #: Hunts per pool task (``None`` = each job's manifest decides).
+    #: A daemon-level override for heterogeneous fleets — see
+    #: :attr:`repro.service.queue.JobRunner.batch`.
+    batch: Optional[int] = None
 
 
 class CampaignService:
@@ -170,6 +174,7 @@ class CampaignService:
                 progress=self.progress,
                 owner=self.owner,
                 lease_seconds=self.config.lease_seconds,
+                batch=self.config.batch,
             )
             self._active_job = job_id
             result = runner.run()

@@ -90,6 +90,14 @@ class CampaignManifest:
     engine: str = DEFAULT_ENGINE
     model: str = "TSO"
     generator: Optional[GeneratorConfig] = None
+    #: Hunts dispatched per pool task (see ``CampaignConfig.batch``).
+    #: An execution-strategy knob: serialized with the manifest but
+    #: excluded from its digest, so batched and unbatched submissions
+    #: of the same campaign share one job id and one result store.
+    batch: int = 1
+    #: Overlap checking with simulation per attempt (see
+    #: ``CampaignConfig.pipeline``).  Digest-excluded like ``batch``.
+    pipeline: bool = False
 
     def __post_init__(self) -> None:
         if not self.name or not all(
@@ -120,12 +128,23 @@ class CampaignManifest:
                 f"scheduler kind {self.sched.kind!r} does not fit "
                 f"per-attempt hunts (allowed: {', '.join(_HUNT_SCHEDS)})"
             )
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
 
     # -- identity ------------------------------------------------------
 
     def digest(self) -> str:
-        """Content digest of the canonical JSON form (hex, full)."""
-        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+        """Content digest of the canonical JSON form (hex, full).
+
+        Execution-strategy knobs (``batch``, ``pipeline``) are stripped
+        before digesting: they change how hunts are dispatched, never
+        which hunts run or what they record, so submissions differing
+        only in those knobs attach to the same job.
+        """
+        doc = self.to_dict()
+        doc.pop("batch", None)
+        doc.pop("pipeline", None)
+        return hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
 
     @property
     def job_id(self) -> str:
@@ -187,6 +206,8 @@ class CampaignManifest:
             seed=seed,
             sched=self.sched,
             engine=self.engine,
+            batch=self.batch,
+            pipeline=self.pipeline,
         )
         if self.generator is not None:
             kwargs["generator"] = self.generator
@@ -209,6 +230,8 @@ class CampaignManifest:
                 None if self.generator is None
                 else dataclasses.asdict(self.generator)
             ),
+            "batch": self.batch,
+            "pipeline": self.pipeline,
         }
 
     @classmethod
@@ -231,6 +254,8 @@ class CampaignManifest:
                 None if generator is None
                 else generator_from_meta(dict(generator))  # type: ignore[arg-type]
             ),
+            batch=int(data.get("batch", 1)),  # type: ignore[arg-type]
+            pipeline=bool(data.get("pipeline", False)),
         )
 
     def to_json(self) -> str:

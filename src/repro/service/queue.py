@@ -41,6 +41,7 @@ from repro.analysis.campaign import (
     BugHunt,
     CampaignConfig,
     CampaignResult,
+    _hunt_batch_task,
     _hunt_task,
 )
 from repro.analysis.pool import PoolStats, ProgressFn, run_tasks
@@ -81,7 +82,11 @@ class JobRunner:
     ``owner`` names this runner in the store's lease records (defaults
     to ``<hostname>-<pid>``); ``lease_seconds`` is how long a claim
     survives without a heartbeat renewal; ``poll_seconds`` is how often
-    the runner re-checks shards a live peer currently holds.
+    the runner re-checks shards a live peer currently holds.  ``batch``
+    overrides the manifest's hunts-per-pool-task granularity (see
+    :attr:`CampaignManifest.batch`); chunks never span shards, so
+    claiming, completion markers and persisted records are unchanged —
+    a batched drain is digest-identical to an unbatched one.
     """
 
     def __init__(
@@ -95,11 +100,15 @@ class JobRunner:
         owner: Optional[str] = None,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         poll_seconds: float = 0.2,
+        batch: Optional[int] = None,
     ) -> None:
         self.manifest = manifest
         self.store = store
         self.workers = workers
         self.task_timeout = task_timeout
+        self.batch = manifest.batch if batch is None else batch
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
         self.progress = progress
         self.poll_seconds = poll_seconds
         self.lease = LeaseManager(
@@ -221,6 +230,8 @@ class JobRunner:
     ) -> Optional[PoolStats]:
         """One pool batch over the claimed shards, persisting as hunts
         land and marking each shard done at its last hunt."""
+        if self.batch > 1:
+            return self._run_batch_chunked(claimed)
         refs: List[Tuple[Shard, int]] = []
         tasks: List[Tuple[BugSpec, str, CampaignConfig, int]] = []
         labels: List[str] = []
@@ -239,7 +250,9 @@ class JobRunner:
 
         def persist(task_index: int, hunt: BugHunt) -> None:
             shard, bug_index = refs[task_index]
-            self.store.record_hunt(shard.shard_id, bug_index, hunt)
+            self.store.record_hunt(
+                shard.shard_id, bug_index, hunt, owner=self.owner
+            )
             remaining[shard.shard_id] -= 1
             if remaining[shard.shard_id] == 0:
                 self._finish_shard(shard.shard_id)
@@ -268,6 +281,79 @@ class JobRunner:
                 spec=spec, cpu=shard.cpu, detected=False, tests_run=0,
                 via="worker crashed or timed out", hung=True,
             ))
+        return stats
+
+    def _run_batch_chunked(
+        self, claimed: List[Tuple[Shard, List[int]]]
+    ) -> Optional[PoolStats]:
+        """The ``batch > 1`` dispatch path: each pool task carries up to
+        ``batch`` hunts of one shard (chunks never span shards — every
+        hunt in a chunk shares the shard's :class:`CampaignConfig`, and
+        shard completion stays a per-shard countdown).  Hunts, records
+        and markers match the unbatched path exactly; only the task
+        round-trip count changes."""
+        chunk_refs: List[List[Tuple[Shard, int]]] = []
+        tasks: List[
+            Tuple[List[Tuple[BugSpec, str, int]], CampaignConfig]
+        ] = []
+        labels: List[str] = []
+        remaining: Dict[str, int] = {}
+        for shard, todo in claimed:
+            remaining[shard.shard_id] = len(todo)
+            config = self.manifest.campaign_config(shard.seed)
+            bugs = cpu_by_name(shard.cpu).bugs
+            for start in range(0, len(todo), self.batch):
+                chunk = todo[start : start + self.batch]
+                for index in chunk:
+                    self._attempted.add((shard.shard_id, index))
+                chunk_refs.append([(shard, i) for i in chunk])
+                tasks.append(
+                    ([(bugs[i], shard.cpu, i) for i in chunk], config)
+                )
+                suffix = f" (+{len(chunk) - 1})" if len(chunk) > 1 else ""
+                labels.append(
+                    f"{shard.shard_id[:8]}:{bugs[chunk[0]].name}{suffix}"
+                )
+        if not tasks:
+            return None
+
+        def persist(task_index: int, hunts: List[BugHunt]) -> None:
+            for (shard, bug_index), hunt in zip(
+                chunk_refs[task_index], hunts
+            ):
+                self.store.record_hunt(
+                    shard.shard_id, bug_index, hunt, owner=self.owner
+                )
+                remaining[shard.shard_id] -= 1
+                if remaining[shard.shard_id] == 0:
+                    self._finish_shard(shard.shard_id)
+
+        total = sum(len(refs) for refs in chunk_refs)
+        with telemetry.span(
+            "service.job", job=self.manifest.job_id, hunts=total
+        ):
+            results, stats = run_tasks(
+                _hunt_batch_task,
+                tasks,
+                workers=self.workers,
+                task_timeout=self.task_timeout,
+                labels=labels,
+                progress=self.progress,
+                on_result=persist,
+            )
+        # A hung chunk tombstones every member hunt — same accounting
+        # as the unbatched path, applied chunk-wide.
+        for task_index, value in enumerate(results):
+            if value is not None:
+                continue
+            specs = tasks[task_index][0]
+            persist(task_index, [
+                BugHunt(
+                    spec=spec, cpu=cpu_name, detected=False, tests_run=0,
+                    via="worker crashed or timed out", hung=True,
+                )
+                for spec, cpu_name, _ in specs
+            ])
         return stats
 
     # -- merging -------------------------------------------------------

@@ -21,6 +21,7 @@ Line kinds::
 
     {"v":1,"kind":"hunt","shard":id,"bug":name,"bug_index":i,
      "digest":<hunt digest>,"dedup":<failure digest or null>,
+     "owner":<runner name or absent>,"ts":<append time or absent>,
      "hunt":{...BugHunt.to_dict()...}}
     {"v":1,"kind":"shard-done","shard":id,"hunts":n}
     {"v":1,"kind":"bucket","digest":d,"shard":id,"bug":name,
@@ -57,6 +58,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -79,10 +81,13 @@ def hunt_digest(hunt: BugHunt) -> str:
     Excluding the schedule keeps the digest equal between a stored hunt
     whose duplicate schedule was bucketed away and the identical hunt of
     a from-scratch campaign — the property the resume tests assert by
-    digest-set equality.
+    digest-set equality.  ``ops`` is excluded for the same reason: a
+    pipelined hunt aborts violating runs early, so it simulates fewer
+    ops than the conventional path on its way to the identical verdict.
     """
     doc = hunt.to_dict()
     doc.pop("schedule", None)
+    doc.pop("ops", None)
     return hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()[:16]
 
 
@@ -121,6 +126,11 @@ class _ShardState:
     done: bool = False
     #: ``hunts`` count of the last surviving shard-done marker.
     marker_hunts: Optional[int] = None
+    #: Per-index recording metadata as stored on the hunt line: the
+    #: runner that recorded it (``owner``) and the append timestamp
+    #: (``ts``) — the per-owner throughput inputs, kept so compaction
+    #: can rewrite lines byte-faithfully.
+    meta: Dict[int, Dict[str, object]] = field(default_factory=dict)
     #: Replayed lease state (see repro.service.lease).
     lease: Optional[Lease] = None
     #: True once any lease line was seen — distinguishes a takeover of
@@ -253,6 +263,15 @@ class ResultStore:
                 state.digests[index] = str(doc.get("digest", ""))
                 dedup = doc.get("dedup")
                 state.dedup[index] = None if dedup is None else str(dedup)
+                meta: Dict[str, object] = {}
+                if doc.get("owner") is not None:
+                    meta["owner"] = str(doc["owner"])
+                if doc.get("ts") is not None:
+                    try:
+                        meta["ts"] = float(doc["ts"])  # type: ignore[arg-type]
+                    except (TypeError, ValueError):
+                        pass
+                state.meta[index] = meta
             elif kind == "shard-done":
                 state.done = True
                 try:
@@ -362,9 +381,15 @@ class ResultStore:
     # -- recording -----------------------------------------------------
 
     def record_hunt(
-        self, shard_id: str, bug_index: int, hunt: BugHunt
+        self, shard_id: str, bug_index: int, hunt: BugHunt,
+        owner: Optional[str] = None,
     ) -> Tuple[str, Optional[str]]:
         """Append one completed hunt; returns ``(hunt digest, dedup)``.
+
+        ``owner`` names the runner recording the hunt; it is stored on
+        the hunt *line* (with an append timestamp) rather than in the
+        hunt document, so it feeds per-owner throughput on the status
+        endpoint without perturbing hunt digests.
 
         A detected hunt whose :func:`failure_digest` is already
         bucketed is stored *without* its schedule trace (``dedup``
@@ -414,6 +439,7 @@ class ResultStore:
                     tests_run=hunt.tests_run,
                     detected_on_seed=hunt.detected_on_seed,
                     via=hunt.via, hung=hunt.hung, schedule=None,
+                    ops=hunt.ops,
                 )
                 telemetry.count("service.dedup_hits")
             self._append(self._buckets_path, {
@@ -421,15 +447,21 @@ class ResultStore:
                 "bug": hunt.spec.name, "bug_index": bug_index,
                 "first": stored is hunt,
             })
-        self._append(self._shard_path(shard_id), {
+        meta: Dict[str, object] = {}
+        line: Dict[str, object] = {
             "kind": "hunt", "shard": shard_id, "bug": hunt.spec.name,
             "bug_index": bug_index, "digest": digest,
             "dedup": None if stored is hunt else dedup,
             "hunt": stored.to_dict(),
-        })
+        }
+        if owner is not None:
+            meta = {"owner": owner, "ts": time.time()}
+            line.update(meta)
+        self._append(self._shard_path(shard_id), line)
         state.hunts[bug_index] = stored
         state.digests[bug_index] = digest
         state.dedup[bug_index] = None if stored is hunt else dedup
+        state.meta[bug_index] = meta
         telemetry.count("service.hunts")
         if hunt.detected:
             telemetry.count("service.detections")
@@ -476,12 +508,14 @@ class ResultStore:
         lines: List[str] = []
         for index in sorted(state.hunts):
             hunt = state.hunts[index]
-            lines.append(_canonical({
+            doc: Dict[str, object] = {
                 "kind": "hunt", "shard": shard_id, "bug": hunt.spec.name,
                 "bug_index": index, "digest": state.digests[index],
                 "dedup": state.dedup.get(index),
                 "hunt": hunt.to_dict(), "v": STORE_VERSION,
-            }))
+            }
+            doc.update(state.meta.get(index, {}))
+            lines.append(_canonical(doc))
         lines.append(_canonical({
             "kind": "shard-done", "shard": shard_id,
             "hunts": len(state.hunts), "v": STORE_VERSION,
@@ -568,10 +602,27 @@ class ResultStore:
         return out
 
     def summary(self) -> Dict[str, object]:
-        """JSON-safe progress summary (feeds the status endpoint)."""
+        """JSON-safe progress summary (feeds the status endpoint).
+
+        The ``owners`` map carries per-owner throughput alongside the
+        live lease count: every hunt line a runner recorded contributes
+        its hunt (and the hunt's ``ops``) to that owner, and the rates
+        divide by the owner's recording span (first to last append
+        timestamp; ``0.0`` until a second hunt lands).  Hunts recorded
+        without an owner (pre-fleet stores, direct ``record_hunt``
+        callers) simply don't appear here.
+        """
         recorded = detected = hung = shards_done = 0
         per_shard: Dict[str, object] = {}
-        owners: Dict[str, int] = {}
+        owners: Dict[str, Dict[str, object]] = {}
+
+        def owner_entry(name: str) -> Dict[str, object]:
+            return owners.setdefault(name, {
+                "active_shards": 0, "hunts": 0, "ops": 0,
+                "hunts_per_s": 0.0, "ops_per_s": 0.0,
+            })
+
+        spans: Dict[str, Tuple[float, float]] = {}
         for shard_id in sorted(self._shards):
             state = self._shards[shard_id]
             n_det = sum(1 for h in state.hunts.values() if h.detected)
@@ -589,10 +640,27 @@ class ResultStore:
             if state.lease is not None and not state.done:
                 entry["owner"] = state.lease.owner
                 entry["lease_expires"] = state.lease.expires
-                owners[state.lease.owner] = owners.get(
-                    state.lease.owner, 0
-                ) + 1
+                holder = owner_entry(state.lease.owner)
+                holder["active_shards"] = int(holder["active_shards"]) + 1
+            for index, hunt in state.hunts.items():
+                meta = state.meta.get(index) or {}
+                name = meta.get("owner")
+                if name is None:
+                    continue
+                stats = owner_entry(str(name))
+                stats["hunts"] = int(stats["hunts"]) + 1
+                stats["ops"] = int(stats["ops"]) + hunt.ops
+                ts = meta.get("ts")
+                if isinstance(ts, float):
+                    lo, hi = spans.get(str(name), (ts, ts))
+                    spans[str(name)] = (min(lo, ts), max(hi, ts))
             per_shard[shard_id] = entry
+        for name, (lo, hi) in spans.items():
+            span = hi - lo
+            if span > 0:
+                stats = owners[name]
+                stats["hunts_per_s"] = round(int(stats["hunts"]) / span, 3)
+                stats["ops_per_s"] = round(int(stats["ops"]) / span, 3)
         return {
             "shards": per_shard,
             "shards_done": shards_done,

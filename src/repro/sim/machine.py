@@ -173,9 +173,66 @@ class TsoMachine:
         policy: Optional[SchedulePolicy] = None,
         observer: Optional[Callable[[int, int, DynRecord], None]] = None,
     ) -> None:
+        self.config = config or MachineConfig()
+        self.interconnect: Optional[Interconnect] = None
+        self.caches: List[CpuCache] = []
+        self.buffers: List[StoreBuffer] = []
+        # Profile-guided dispatch state.  The scheduler loop runs once
+        # per tick and dominates simulation time, so hoist what it
+        # touches: a bound-method handler table (one dict hit, no
+        # descriptor rebind per issue) and per-cpu scheduler rows
+        # pairing each cpu with its buffer and instruction count (the
+        # ``cpu.done`` property and two list indexes per cpu per tick
+        # priced out in cProfile).  Built once — :meth:`reset` reuses it.
+        self._dispatch = {
+            cls: getattr(self, handler.__name__)
+            for cls, handler in self._HANDLERS.items()
+        }
+        self._arm(program, seed, faults, policy, observer)
+
+    def reset(
+        self,
+        program: Optional[Program] = None,
+        seed: int = 0,
+        faults: Sequence[Fault] = (),
+        policy: Optional[SchedulePolicy] = None,
+        observer: Optional[Callable[[int, int, DynRecord], None]] = None,
+    ) -> "TsoMachine":
+        """Re-arm this machine for another run, reusing its containers.
+
+        A reset machine is behaviorally identical to a freshly
+        constructed ``TsoMachine(program, seed, config, faults, policy)``
+        with the same (immutable) config — same policy derivation, same
+        per-CPU and per-fault seed streams — but reuses the allocated
+        caches, store buffers, interconnect and dispatch table instead
+        of re-allocating them, which is the per-seed fixed cost the
+        batched campaign path amortizes.  ``program=None`` re-arms with
+        the current program.  Returns ``self`` for chaining.
+        """
+        tel = telemetry.get_telemetry()
+        if tel.enabled:
+            tel.count("sim.machine_resets")
+        self._arm(program or self.program, seed, faults, policy, observer)
+        return self
+
+    def _arm(
+        self,
+        program: Program,
+        seed: int,
+        faults: Sequence[Fault],
+        policy: Optional[SchedulePolicy],
+        observer: Optional[Callable[[int, int, DynRecord], None]],
+    ) -> None:
+        """Per-run state setup, shared by ``__init__`` and :meth:`reset`.
+
+        Mirrors the historical constructor order exactly (policy before
+        memory before interconnect before CPUs before fault attach) so
+        seed streams and any fault's attach-time view of the machine are
+        unchanged; containers whose shape still fits are cleared in
+        place rather than rebuilt.
+        """
         program.validate()
         self.program = program
-        self.config = config or MachineConfig()
         if policy is not None:
             self.policy = policy
         elif self.config.sched is not None:
@@ -185,18 +242,30 @@ class TsoMachine:
         self.policy.bind(self)
         self.memory = Memory(initial=dict(program.initial))
         self.memory.register_valid(program.addresses())
-        self.interconnect = Interconnect(
-            program.nprocs,
-            policy=self.policy,
-            jitter=self.config.invalidate_jitter,
-        )
-        self.caches = [
-            CpuCache(capacity=self.config.cache_lines)
-            for _ in range(program.nprocs)
-        ]
-        self.buffers = [
-            StoreBuffer(self.config.buffer_capacity) for _ in range(program.nprocs)
-        ]
+        nprocs = program.nprocs
+        if self.interconnect is None or self.interconnect.ncpus != nprocs:
+            self.interconnect = Interconnect(
+                nprocs,
+                policy=self.policy,
+                jitter=self.config.invalidate_jitter,
+            )
+        else:
+            self.interconnect.policy = self.policy
+            self.interconnect.pending.clear()
+        if len(self.caches) != nprocs:
+            self.caches = [
+                CpuCache(capacity=self.config.cache_lines)
+                for _ in range(nprocs)
+            ]
+            self.buffers = [
+                StoreBuffer(self.config.buffer_capacity)
+                for _ in range(nprocs)
+            ]
+        else:
+            for cache in self.caches:
+                cache.clear()
+            for buffer in self.buffers:
+                buffer.clear()
         self.cpus = [
             Cpu(pid=pid, thread=thread, lfsr=Lfsr(seed * 7919 + pid + 1))
             for pid, thread in enumerate(program.threads)
@@ -209,7 +278,7 @@ class TsoMachine:
         self.tick = 0
         self.monitor_alarms: List[str] = []
         self.true_execution: Optional[Execution] = None
-        self.stats = MachineStats(buffer_highwater=[0] * program.nprocs)
+        self.stats = MachineStats(buffer_highwater=[0] * nprocs)
         #: Observed global store order: (word address, value) per commit,
         #: the Sec. 3.2 "additional observability" fed to
         #: :func:`repro.core.observability.check_with_store_order`.
@@ -229,19 +298,8 @@ class TsoMachine:
         #: the run (used to stop on a detected violation).
         self.observer = observer
         self._observed_stream: List[List[DynRecord]] = [
-            [] for _ in range(program.nprocs)
+            [] for _ in range(nprocs)
         ]
-        # Profile-guided dispatch state.  The scheduler loop runs once
-        # per tick and dominates simulation time, so hoist what it
-        # touches: a bound-method handler table (one dict hit, no
-        # descriptor rebind per issue) and per-cpu scheduler rows
-        # pairing each cpu with its buffer and instruction count (the
-        # ``cpu.done`` property and two list indexes per cpu per tick
-        # priced out in cProfile).
-        self._dispatch = {
-            cls: getattr(self, handler.__name__)
-            for cls, handler in self._HANDLERS.items()
-        }
         self._sched_rows = [
             (cpu, self.buffers[cpu.pid], len(cpu.thread))
             for cpu in self.cpus

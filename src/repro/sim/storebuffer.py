@@ -119,3 +119,7 @@ class StoreBuffer:
     def entries(self) -> List[BufferedStore]:
         """A snapshot list of the pending entries, oldest first."""
         return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every pending entry (machine reset between runs)."""
+        self._entries.clear()

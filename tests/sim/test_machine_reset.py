@@ -1,0 +1,103 @@
+"""``TsoMachine.reset``: a reset machine is indistinguishable from a
+fresh one.
+
+The batched campaign path re-arms one machine per worker instead of
+constructing a new one per attempt; the contract is *behavioral
+identity* — same program, seed, faults and policy in, byte-identical
+execution out, whether the machine is fresh or carries any amount of
+prior-run state (drained buffers, warm caches, fault history).
+"""
+
+from repro import telemetry
+from repro.generator.config import GeneratorConfig
+from repro.generator.generator import generate_program
+from repro.sim.cpus import CPU_CONFIGS
+from repro.sim.faults import MonitorFalseAlarmFault, StaleForwardFault
+from repro.sim.machine import MachineConfig, TsoMachine
+
+GEN = GeneratorConfig(nprocs=3, ops_per_proc=60, shared_words=6)
+
+
+def _programs():
+    return generate_program(GEN, seed=11), generate_program(GEN, seed=22)
+
+
+class TestResetIdentity:
+    def test_reset_run_equals_fresh_run(self):
+        p1, p2 = _programs()
+        machine = TsoMachine(p1, seed=11)
+        machine.run()
+        reset_exec = machine.reset(p2, seed=22).run()
+        fresh = TsoMachine(p2, seed=22)
+        fresh_exec = fresh.run()
+        assert reset_exec.dump() == fresh_exec.dump()
+        assert machine.true_execution.dump() == fresh.true_execution.dump()
+        assert machine.stats == fresh.stats
+
+    def test_reset_with_faults_and_monitor_state(self):
+        p1, p2 = _programs()
+        machine = TsoMachine(p1, seed=11, faults=[MonitorFalseAlarmFault()])
+        machine.run()
+        machine.reset(p2, seed=22, faults=[StaleForwardFault()])
+        reset_exec = machine.run()
+        fresh = TsoMachine(p2, seed=22, faults=[StaleForwardFault()])
+        assert reset_exec.dump() == fresh.run().dump()
+        assert machine.monitor_alarms == fresh.monitor_alarms
+
+    def test_reset_same_program_same_seed_reproduces(self):
+        p1, _ = _programs()
+        machine = TsoMachine(p1, seed=11)
+        first = machine.run()
+        second = machine.reset(seed=11).run()
+        assert first.dump() == second.dump()
+
+    def test_reset_across_nproc_change_rebuilds(self):
+        """A program with a different CPU count can't reuse the old
+        interconnect/caches — reset rebuilds them and still matches."""
+        p1, _ = _programs()
+        wide = generate_program(
+            GeneratorConfig(nprocs=5, ops_per_proc=40, shared_words=6),
+            seed=9,
+        )
+        machine = TsoMachine(p1, seed=11)
+        machine.run()
+        reset_exec = machine.reset(wide, seed=9).run()
+        assert reset_exec.dump() == TsoMachine(wide, seed=9).run().dump()
+
+    def test_chained_resets_stay_identical(self):
+        """Many resets in a row (the batch shape) never drift."""
+        machine = None
+        for seed in range(30, 36):
+            program = generate_program(GEN, seed=seed)
+            fault = [CPU_CONFIGS[0].bugs[0].instantiate()]
+            if machine is None:
+                machine = TsoMachine(program, seed=seed, faults=fault)
+            else:
+                machine.reset(program, seed=seed, faults=fault)
+            reused = machine.run()
+            fresh = TsoMachine(
+                program, seed=seed,
+                faults=[CPU_CONFIGS[0].bugs[0].instantiate()],
+            ).run()
+            assert reused.dump() == fresh.dump()
+
+
+class TestResetTelemetry:
+    def test_resets_counted(self):
+        tel = telemetry.configure()
+        try:
+            p1, p2 = _programs()
+            machine = TsoMachine(p1, seed=11)
+            machine.run()
+            machine.reset(p2, seed=22)
+            machine.run()
+            assert tel.snapshot()["counters"]["sim.machine_resets"] == 1
+        finally:
+            telemetry.reset()
+
+    def test_config_survives_reset(self):
+        config = MachineConfig()
+        p1, p2 = _programs()
+        machine = TsoMachine(p1, seed=11, config=config)
+        machine.reset(p2, seed=22)
+        assert machine.config is config
